@@ -1,0 +1,278 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md's per-experiment index E1–E10), plus micro-benchmarks of
+// the core HGED solvers. Each table/figure bench runs its experiment at a
+// bench-friendly scale and reports the rendered rows once via b.Log; run
+//
+//	go test -bench=. -benchmem
+//
+// for the full sweep, or cmd/experiments for the paper-scale runs.
+package hged_test
+
+import (
+	"testing"
+
+	"hged"
+	"hged/internal/dataset"
+	"hged/internal/experiments"
+	"hged/internal/gen"
+)
+
+// benchCfg keeps the table/figure benches minutes-fast: small replicas,
+// few pairs, tight search budgets.
+var benchCfg = experiments.Config{
+	Scale:         0.15,
+	Pairs:         25,
+	MaxExpansions: 5_000,
+	Seed:          7,
+}
+
+func logOnce(b *testing.B, i int, render func() string) {
+	if i == 0 {
+		b.Log("\n" + render())
+	}
+}
+
+// BenchmarkTable1Datasets regenerates Table I (E1): dataset statistics.
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, func() string { return experiments.RenderTable1(rows) })
+	}
+}
+
+// BenchmarkFig8Effectiveness regenerates Fig. 8 (E2): HEP vs JS vs LGR.
+func BenchmarkFig8Effectiveness(b *testing.B) {
+	cfg := benchCfg
+	cfg.Datasets = []string{"PS", "HS"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, func() string { return experiments.RenderFig8(rows) })
+	}
+}
+
+// BenchmarkFig9ParameterSweep regenerates Fig. 9 (E3): HEP effectiveness
+// under varying λ and τ.
+func BenchmarkFig9ParameterSweep(b *testing.B) {
+	cfg := benchCfg
+	cfg.Datasets = []string{"HS"}
+	for i := 0; i < b.N; i++ {
+		lams, taus, err := experiments.Fig9(cfg, []int{2, 3, 5}, []int{3, 5, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, func() string { return experiments.RenderFig9(lams, taus) })
+	}
+}
+
+// BenchmarkFig10CaseStudy regenerates the Fig. 10 case study (E4).
+func BenchmarkFig10CaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CaseStudy(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Hit {
+			b.Fatal("case study must recover the target collaboration")
+		}
+		logOnce(b, i, func() string { return experiments.RenderCaseStudy(res) })
+	}
+}
+
+// BenchmarkTable2HGED regenerates Table II (E5): per-pair runtimes of
+// HGED-HEU / HGED-DFS / HGED-BFS.
+func BenchmarkTable2HGED(b *testing.B) {
+	cfg := benchCfg
+	cfg.Datasets = []string{"PS", "MO"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, func() string { return experiments.RenderTable2(rows) })
+	}
+}
+
+// BenchmarkTable3HEP regenerates Table III (E6): full prediction runtimes
+// of HEP-DFS vs HEP-BFS vs LGR.
+func BenchmarkTable3HEP(b *testing.B) {
+	cfg := benchCfg
+	cfg.Datasets = []string{"HS"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, func() string { return experiments.RenderTable3(rows) })
+	}
+}
+
+// BenchmarkFig11RuntimeSweep regenerates Fig. 11 (E7): HEP runtime on MO
+// under varying λ and τ.
+func BenchmarkFig11RuntimeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lams, taus, err := experiments.Fig11(benchCfg, []int{2, 3}, []int{4, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, func() string { return experiments.RenderFig11(lams, taus) })
+	}
+}
+
+// BenchmarkFig12Scalability regenerates Fig. 12 (E8): runtime vs TVG
+// sub-sample fraction.
+func BenchmarkFig12Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig12(benchCfg, []float64{0.25, 0.5, 1.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, func() string { return experiments.RenderFig12(points) })
+	}
+}
+
+// BenchmarkAblationStrategies measures the contribution of the HGED-BFS
+// pruning strategies (E9).
+func BenchmarkAblationStrategies(b *testing.B) {
+	cfg := benchCfg
+	cfg.Datasets = []string{"HS"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationStrategies(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, func() string { return experiments.RenderAblation(rows) })
+	}
+}
+
+// BenchmarkEDCHungarianVsPermutation compares the two exact per-node-map
+// edit-cost computations (E10).
+func BenchmarkEDCHungarianVsPermutation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationEDC(benchCfg, []int{2, 4, 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, func() string { return experiments.RenderEDC(rows) })
+	}
+}
+
+// BenchmarkPrecisionAtK runs the E11 extension: cohesion-ranked HEP
+// precision@k.
+func BenchmarkPrecisionAtK(b *testing.B) {
+	cfg := benchCfg
+	cfg.Datasets = []string{"HS"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExtensionPrecisionAtK(cfg, []int{5, 10, 25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, func() string { return experiments.RenderPrecisionAtK(rows) })
+	}
+}
+
+// --------------------------------------------------------------- micro
+
+func paperEgoPair() (*hged.Hypergraph, *hged.Hypergraph) {
+	labels := []hged.Label{2, 2, 2, 3, 3, 1, 2, 3}
+	g := hged.NewLabeledHypergraph(labels)
+	g.AddEdge(10, 0, 1, 3)
+	g.AddEdge(10, 3, 5, 6)
+	g.AddEdge(11, 1, 2, 4)
+	g.AddEdge(11, 3, 4, 6, 7)
+	return g.Ego(3), g.Ego(4)
+}
+
+// BenchmarkHGEDBFSPaperExample solves the paper's Fig. 2 instance.
+func BenchmarkHGEDBFSPaperExample(b *testing.B) {
+	x, y := paperEgoPair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hged.BFS(x, y, hged.Options{}).Distance != 6 {
+			b.Fatal("wrong distance")
+		}
+	}
+}
+
+// BenchmarkHGEDDFSPaperExample solves the same instance with HGED-DFS.
+func BenchmarkHGEDDFSPaperExample(b *testing.B) {
+	x, y := paperEgoPair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hged.DFS(x, y, hged.Options{}).Distance != 6 {
+			b.Fatal("wrong distance")
+		}
+	}
+}
+
+// BenchmarkHGEDBFSThreshold verifies σ ≤ τ — HEP's hot operation.
+func BenchmarkHGEDBFSThreshold(b *testing.B) {
+	x, y := paperEgoPair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hged.BFS(x, y, hged.Options{Threshold: 10})
+	}
+}
+
+// BenchmarkLowerBound measures the Strategy-3 screen.
+func BenchmarkLowerBound(b *testing.B) {
+	x, y := paperEgoPair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hged.LowerBound(x, y) != 6 {
+			b.Fatal("wrong bound")
+		}
+	}
+}
+
+// BenchmarkEgoExtraction measures ego-network construction on a replica.
+func BenchmarkEgoExtraction(b *testing.B) {
+	spec, err := dataset.Lookup("HS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := spec.Replica(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Ego(hged.NodeID(i % g.NumNodes()))
+	}
+}
+
+// BenchmarkGeneratePlanted measures the planted-community generator.
+func BenchmarkGeneratePlanted(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gen.PlantedCommunities(gen.Config{
+			Nodes: 300, Edges: 600, MeanEdgeSize: 4, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictorHEP measures a full HEP run on a small HS replica.
+func BenchmarkPredictorHEP(b *testing.B) {
+	spec, err := dataset.Lookup("HS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := spec.Replica(0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := hged.NewPredictor(g, hged.PredictOptions{Lambda: 3, Tau: 5, MaxExpansions: 5_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Run()
+	}
+}

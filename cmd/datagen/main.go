@@ -1,0 +1,92 @@
+// Command datagen generates hypergraphs in the .hg text format: synthetic
+// replicas of the paper's six datasets (Table I), planted-community graphs
+// with custom parameters, or sub-samples of an existing graph.
+//
+// Usage:
+//
+//	datagen -dataset PS [-scale 0.1] [-o ps.hg]
+//	datagen -nodes 500 -edges 1200 [-mean 4] [-median 3] [-labels 8] [-seed 7] [-o g.hg]
+//	datagen -subsample g.hg -node-frac 0.5 -edge-frac 0.5 [-o sub.hg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hged/internal/dataset"
+	"hged/internal/gen"
+	"hged/internal/hgio"
+	"hged/internal/hypergraph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ds := flag.String("dataset", "", "replicate a registered dataset (PS, HS, MO, WM, TVG, AMZ)")
+	scale := flag.Float64("scale", 0, "replica scale (0 = the dataset's default)")
+	nodes := flag.Int("nodes", 0, "custom generation: node count")
+	edges := flag.Int("edges", 0, "custom generation: hyperedge count")
+	mean := flag.Float64("mean", 3, "custom generation: mean hyperedge size")
+	median := flag.Int("median", 0, "custom generation: median hyperedge size")
+	labels := flag.Int("labels", 4, "custom generation: label classes")
+	seed := flag.Int64("seed", 1, "random seed")
+	sub := flag.String("subsample", "", "sub-sample this .hg file instead of generating")
+	nodeFrac := flag.Float64("node-frac", 1, "subsample: fraction of nodes kept")
+	edgeFrac := flag.Float64("edge-frac", 1, "subsample: fraction of hyperedges kept")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var g *hypergraph.Hypergraph
+	switch {
+	case *sub != "":
+		f, err := os.Open(*sub)
+		if err != nil {
+			return err
+		}
+		full, err := hgio.ReadText(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		g = gen.Subsample(full, *nodeFrac, *edgeFrac, *seed)
+	case *ds != "":
+		spec, err := dataset.Lookup(*ds)
+		if err != nil {
+			return err
+		}
+		if g, err = spec.Replica(*scale); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, spec.TableRow(g))
+	case *nodes > 0:
+		var err error
+		g, _, err = gen.PlantedCommunities(gen.Config{
+			Nodes: *nodes, Edges: *edges,
+			MeanEdgeSize: *mean, MedianEdgeSize: *median,
+			NodeLabelCount: *labels, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		flag.Usage()
+		return fmt.Errorf("need -dataset, -nodes, or -subsample")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return hgio.WriteText(w, g)
+}

@@ -1,0 +1,204 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic dataset replicas.
+//
+// Usage:
+//
+//	experiments -exp table1|fig8|fig9|fig10|table2|table3|fig11|fig12|ablation|edc|all
+//	            [-scale 1.0] [-datasets PS,HS] [-pairs 200] [-seed 1]
+//
+// Absolute numbers differ from the paper's (different hardware, language
+// and dataset replicas); the shapes — who wins, by what rough factor —
+// are the reproduction target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hged/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+var lambdaSweep = []int{2, 3, 4, 5, 6, 7, 8, 9}
+var tauSweep = []int{3, 4, 5, 6, 7, 8, 9, 10}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment: table1, fig8, fig9, fig10, table2, table3, fig11, fig12, ablation, edc, pk, or all")
+	scale := flag.Float64("scale", 1, "replica scale multiplier (1 = registry defaults)")
+	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all six)")
+	pairs := flag.Int("pairs", 200, "node pairs for Table II and the strategy ablation")
+	seed := flag.Int64("seed", 1, "random seed")
+	maxExp := flag.Int64("max-expansions", 10_000, "per-search expansion budget")
+	verbose := flag.Bool("v", false, "print progress to stderr")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale: *scale, Seed: *seed, Pairs: *pairs, MaxExpansions: *maxExp,
+	}
+	if *verbose {
+		cfg.Progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "· "+format+"\n", args...)
+		}
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	runners := map[string]func(experiments.Config) error{
+		"table1":   runTable1,
+		"fig8":     runFig8,
+		"fig9":     runFig9,
+		"fig10":    runFig10,
+		"table2":   runTable2,
+		"table3":   runTable3,
+		"fig11":    runFig11,
+		"fig12":    runFig12,
+		"ablation": runAblation,
+		"edc":      runEDC,
+		"pk":       runPrecisionAtK,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig8", "fig9", "fig10", "table2", "table3", "fig11", "fig12", "ablation", "edc", "pk"} {
+			if err := runners[name](cfg); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	r, ok := runners[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return r(cfg)
+}
+
+func header(title string) {
+	fmt.Printf("\n==== %s ====\n", title)
+}
+
+func runTable1(cfg experiments.Config) error {
+	header("Table I — dataset statistics (paper vs replica)")
+	rows, err := experiments.Table1(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderTable1(rows))
+	return nil
+}
+
+func runFig8(cfg experiments.Config) error {
+	header("Fig. 8 — effectiveness of HEP vs JS vs LGR (λ=3, τ=5)")
+	rows, err := experiments.Fig8(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFig8(rows))
+	return nil
+}
+
+func runFig9(cfg experiments.Config) error {
+	header("Fig. 9 — HEP effectiveness with varying λ and τ")
+	if len(cfg.Datasets) == 0 {
+		cfg.Datasets = []string{"PS", "HS"} // full six-way sweep is hours-long; see -datasets
+		fmt.Println("(defaulting to -datasets PS,HS for the sweep)")
+	}
+	lams, taus, err := experiments.Fig9(cfg, lambdaSweep, tauSweep)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFig9(lams, taus))
+	return nil
+}
+
+func runFig10(cfg experiments.Config) error {
+	header("Fig. 10 — case study: predicting a future co-authorship")
+	res, err := experiments.CaseStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderCaseStudy(res))
+	return nil
+}
+
+func runTable2(cfg experiments.Config) error {
+	header("Table II — avg per-pair HGED runtime (τ=10)")
+	rows, err := experiments.Table2(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderTable2(rows))
+	return nil
+}
+
+func runTable3(cfg experiments.Config) error {
+	header("Table III — full prediction runtime: HEP-DFS vs HEP-BFS vs LGR")
+	rows, err := experiments.Table3(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderTable3(rows))
+	return nil
+}
+
+func runFig11(cfg experiments.Config) error {
+	header("Fig. 11 — HEP runtime with varying λ and τ")
+	lams, taus, err := experiments.Fig11(cfg, lambdaSweep, tauSweep)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFig11(lams, taus))
+	return nil
+}
+
+func runFig12(cfg experiments.Config) error {
+	header("Fig. 12 — scalability on TVG sub-samples")
+	fracs := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	points, err := experiments.Fig12(cfg, fracs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFig12(points))
+	return nil
+}
+
+func runAblation(cfg experiments.Config) error {
+	header("Ablation E9 — HGED-BFS pruning strategies")
+	rows, err := experiments.AblationStrategies(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderAblation(rows))
+	return nil
+}
+
+func runEDC(cfg experiments.Config) error {
+	header("Ablation E10 — EDC: permutation enumeration vs Hungarian")
+	rows, err := experiments.AblationEDC(cfg, []int{2, 3, 4, 5, 6, 7})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderEDC(rows))
+	return nil
+}
+
+func runPrecisionAtK(cfg experiments.Config) error {
+	header("Extension E11 — precision@k of cohesion-ranked HEP predictions")
+	if len(cfg.Datasets) == 0 {
+		cfg.Datasets = []string{"PS", "HS"}
+		fmt.Println("(defaulting to -datasets PS,HS)")
+	}
+	rows, err := experiments.ExtensionPrecisionAtK(cfg, []int{5, 10, 25, 50, 100})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderPrecisionAtK(rows))
+	return nil
+}

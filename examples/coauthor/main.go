@@ -1,0 +1,102 @@
+// Coauthor reproduces the spirit of the paper's Fig. 10 case study: in a
+// co-authorship hypergraph (researchers = nodes, publications =
+// hyperedges), HEP predicts a group collaboration one year before it
+// happens — and, unlike black-box predictors, explains *why* the
+// researchers are similar via hypergraph edit paths.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hged"
+)
+
+const (
+	areaDataMining hged.Label = 1
+	areaSystems    hged.Label = 2
+	venueKDD       hged.Label = 101
+	venueICDE      hged.Label = 102
+	venueOther     hged.Label = 103
+)
+
+func main() {
+	names := []string{
+		"J. Han (hub)", "X. Ren", "J. Shang", "M. Jiang",
+		"A. Gupta", "B. Li", "C. Wu",
+		"D. Park", "E. Novak", "F. Qi",
+	}
+	labels := []hged.Label{
+		areaDataMining, areaDataMining, areaDataMining, areaDataMining,
+		areaDataMining, areaDataMining, areaDataMining,
+		areaSystems, areaSystems, areaSystems,
+	}
+	g := hged.NewLabeledHypergraph(labels)
+	// "2016": the hub publishes with Ren, Shang, Jiang in overlapping
+	// pairs — but the four never appear on one paper together.
+	g.AddEdge(venueKDD, 0, 1, 2)
+	g.AddEdge(venueKDD, 0, 1, 3)
+	g.AddEdge(venueKDD, 0, 2, 3)
+	g.AddEdge(venueICDE, 1, 2, 3)
+	// A second circle around the hub.
+	g.AddEdge(venueICDE, 0, 4, 5)
+	g.AddEdge(venueICDE, 0, 4, 6)
+	g.AddEdge(venueICDE, 0, 5, 6)
+	// An unrelated systems group.
+	g.AddEdge(venueOther, 7, 8, 9)
+	g.AddEdge(venueOther, 7, 8)
+	g.AddEdge(venueOther, 8, 9)
+
+	fmt.Printf("2016 co-authorship hypergraph: %d researchers, %d publications\n\n",
+		g.NumNodes(), g.NumEdges())
+
+	p, err := hged.NewPredictor(g, hged.PredictOptions{Lambda: 3, Tau: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds := p.Run()
+	fmt.Printf("predicted (3,5)-hyperedges (%d):\n", len(preds))
+	target := map[hged.NodeID]bool{0: true, 1: true, 2: true, 3: true}
+	var hit []hged.NodeID
+	for _, pr := range preds {
+		fmt.Printf("  {%s}\n", nameList(names, pr.Nodes))
+		covered := 0
+		for _, v := range pr.Nodes {
+			if target[v] {
+				covered++
+			}
+		}
+		if covered == len(target) {
+			hit = pr.Nodes
+		}
+	}
+	if hit == nil {
+		fmt.Println("\nthe 2017 Han–Ren–Shang–Jiang collaboration was NOT recovered")
+		return
+	}
+	fmt.Printf("\nthe 2017 Han–Ren–Shang–Jiang collaboration IS predicted: {%s}\n",
+		nameList(names, hit))
+
+	// Explain why Ren and Shang are similar: the optimal edit path between
+	// their ego networks.
+	ex, err := p.Explain(1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwhy are %s and %s similar? σ = %d; edit path:\n", names[1], names[2], ex.Distance)
+	for i, line := range ex.Lines() {
+		fmt.Printf("  (%d) %s\n", i+1, line)
+	}
+	if ex.Distance == 0 {
+		fmt.Println("  (their ego networks are already isomorphic)")
+	}
+}
+
+func nameList(names []string, ids []hged.NodeID) string {
+	parts := make([]string, len(ids))
+	for i, v := range ids {
+		parts[i] = names[v]
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,162 @@
+package hged_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hged"
+)
+
+func TestFacadeIO(t *testing.T) {
+	g := hged.Fig1()
+	var buf bytes.Buffer
+	if err := hged.WriteHG(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := hged.ReadHG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hged.Isomorphic(g, back) {
+		t.Fatal("HG round trip lost structure")
+	}
+	buf.Reset()
+	if err := hged.WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hged.ReadJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hged.ReadBenson(strings.NewReader("2"), strings.NewReader("1 2"), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	g, comm, err := hged.GeneratePlanted(hged.GenConfig{Nodes: 50, Edges: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 50 || len(comm) != 50 {
+		t.Fatalf("n=%d comm=%d", g.NumNodes(), len(comm))
+	}
+	u := hged.GenerateUniform(20, 10, 3, 2, 2, 7)
+	if u.NumEdges() != 10 {
+		t.Fatal("uniform generator wrong size")
+	}
+	sub := hged.Subsample(g, 0.5, 0.5, 9)
+	if sub.NumNodes() != 25 {
+		t.Fatalf("subsample n=%d", sub.NumNodes())
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	if len(hged.Datasets()) != 6 {
+		t.Fatal("registry should list six datasets")
+	}
+	spec, err := hged.LookupDataset("HS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Replica(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, held, err := hged.SplitEdges(g, 0.75, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NumEdges()+len(held) != g.NumEdges() {
+		t.Fatal("split lost hyperedges")
+	}
+}
+
+func TestFacadeEvaluation(t *testing.T) {
+	preds := [][]hged.NodeID{{0, 1, 2, 3}}
+	held := []hged.Hyperedge{{Nodes: []hged.NodeID{1, 2}}}
+	prf, _ := hged.EvaluatePredictions(preds, held, hged.MatchOptions{Mode: hged.MatchContainment})
+	if prf.Precision != 1 {
+		t.Fatalf("containment precision = %v", prf.Precision)
+	}
+	p := hged.PrecisionAtK(preds, held, hged.MatchOptions{Mode: hged.MatchContainment}, []int{1})
+	if p[0] != 1 {
+		t.Fatalf("P@1 = %v", p[0])
+	}
+}
+
+func TestFacadeSearch(t *testing.T) {
+	g := hged.Fig1()
+	corpus := make([]*hged.Hypergraph, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		corpus[v] = g.Ego(hged.NodeID(v))
+	}
+	ix := hged.BuildSearchIndex(corpus)
+	matches, _, err := ix.Search(g.Ego(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 || matches[0].ID != 3 {
+		t.Fatalf("self search failed: %v", matches)
+	}
+	nn, _, err := ix.Nearest(g.Ego(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 2 || nn[0].Distance != 0 {
+		t.Fatalf("kNN: %v", nn)
+	}
+}
+
+func TestFacadeNamedBuilder(t *testing.T) {
+	b := hged.NewNamedBuilder()
+	b.Edge("KDD", "han", "ren", "shang")
+	b.LabeledNode("han", "data-mining")
+	g := b.Graph()
+	if g.NumNodes() != 3 || g.NumEdges() != 1 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	v, ok := b.NodeID("ren")
+	if !ok || b.NodeName(v) != "ren" {
+		t.Fatal("name round trip broken")
+	}
+}
+
+func TestFacadeViz(t *testing.T) {
+	g := hged.Fig1()
+	var buf bytes.Buffer
+	if err := hged.WriteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph") {
+		t.Fatal("DOT output malformed")
+	}
+	_, path := hged.DistanceWithPath(g.Ego(3), g.Ego(4))
+	buf.Reset()
+	if err := hged.WriteEditPathDOT(&buf, g.Ego(3), path, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dashed") {
+		t.Fatal("edit-path DOT should annotate deletions")
+	}
+}
+
+func TestFacadeRankedPredictions(t *testing.T) {
+	g := hged.NewHypergraph(0)
+	for i := 0; i < 4; i++ {
+		g.AddNode(1)
+	}
+	g.AddEdge(10, 0, 1, 2)
+	g.AddEdge(10, 0, 1, 3)
+	g.AddEdge(10, 0, 2, 3)
+	p, err := hged.NewPredictor(g, hged.PredictOptions{Lambda: 3, Tau: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := p.RunRanked()
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Score > ranked[i].Score {
+			t.Fatal("ranking not ascending")
+		}
+	}
+}

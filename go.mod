@@ -1,0 +1,3 @@
+module hged
+
+go 1.22

@@ -1,0 +1,51 @@
+package baseline
+
+import (
+	"math"
+
+	"hged/internal/hypergraph"
+	"hged/internal/predict"
+)
+
+// jsScale converts the Jaccard similarity s ∈ [0,1] to an integer distance
+// round((1−s)·jsScale), so the HEP framework's integer thresholds apply.
+const jsScale = 100
+
+// JSOptions configures the JS baseline. MinSim is the Jaccard similarity
+// threshold (the paper sets 0.8: "the ratio between the intersection and the
+// union of the neighbor nodes is no less than 0.8"); pairs of nodes within
+// λ hops may be up to λ times more distant, mirroring the λ·τ relaxation of
+// Definition 4.
+type JSOptions struct {
+	Lambda           int     // λ ≥ 1, default 3
+	MinSim           float64 // default 0.8
+	MinSize, MaxSize int     // emitted hyperedge size bounds, defaults 2 and 8
+	IncludeExisting  bool
+}
+
+// NewJS builds the paper's JS baseline: the HEP prediction framework with
+// node dissimilarity (1 − Jaccard) in place of HGED.
+func NewJS(g *hypergraph.Hypergraph, opts JSOptions) (*predict.Predictor, error) {
+	if opts.Lambda == 0 {
+		opts.Lambda = 3
+	}
+	if opts.MinSim == 0 {
+		opts.MinSim = 0.8
+	}
+	tau := int(math.Round((1 - opts.MinSim) * jsScale))
+	if tau <= 0 {
+		tau = 1
+	}
+	nb := NewNeighborhoods(g)
+	metric := func(_ *hypergraph.Hypergraph, u, v hypergraph.NodeID, ceiling int) (int, bool) {
+		d := int(math.Round((1 - nb.Jaccard(u, v)) * jsScale))
+		return d, d <= ceiling
+	}
+	return predict.NewWithMetric(g, predict.Options{
+		Lambda:          opts.Lambda,
+		Tau:             tau,
+		MinSize:         opts.MinSize,
+		MaxSize:         opts.MaxSize,
+		IncludeExisting: opts.IncludeExisting,
+	}, metric)
+}

@@ -1,0 +1,313 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hged/internal/hypergraph"
+	"hged/internal/predict"
+)
+
+// LGROptions configures the LGR baseline (Yoon et al. [20]): a logistic-
+// regression classifier with L2 regularization over features of the n-order
+// expansion of the hypergraph. The paper's evaluation sets n = 3 and
+// extracts 6 features.
+type LGROptions struct {
+	// Order is the expansion order n (pairwise statistics aggregated over
+	// all pairs is the 2-order core; higher orders add density features).
+	// Default 3.
+	Order int
+	// MinSize/MaxSize bound candidate hyperedge sizes (defaults 3 and 10;
+	// the paper notes LGR "considers the cases where each candidate
+	// hyperedge has cardinality 3, 4, ... 10").
+	MinSize, MaxSize int
+	// NegativeRatio is the number of sampled negative candidates per
+	// positive during training (default 2).
+	NegativeRatio int
+	// Threshold is the acceptance probability (default 0.5).
+	Threshold float64
+	// CandidatesPerNode bounds candidate generation per node (default 4).
+	CandidatesPerNode int
+	// Seed drives sampling (default 1).
+	Seed int64
+	// L2 regularization strength (default 0.01).
+	L2 float64
+}
+
+func (o LGROptions) normalize() (LGROptions, error) {
+	if o.Order == 0 {
+		o.Order = 3
+	}
+	if o.MinSize == 0 {
+		o.MinSize = 3
+	}
+	if o.MaxSize == 0 {
+		o.MaxSize = 10
+	}
+	if o.NegativeRatio == 0 {
+		o.NegativeRatio = 2
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.5
+	}
+	if o.CandidatesPerNode == 0 {
+		o.CandidatesPerNode = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MinSize < 2 || o.MaxSize < o.MinSize {
+		return o, fmt.Errorf("baseline: invalid LGR size bounds [%d,%d]", o.MinSize, o.MaxSize)
+	}
+	return o, nil
+}
+
+// LGR is the trained hyperedge classifier.
+type LGR struct {
+	g     *hypergraph.Hypergraph
+	nb    *Neighborhoods
+	opts  LGROptions
+	model LogReg
+}
+
+// NewLGR trains the classifier on g's existing hyperedges (positives)
+// against sampled corrupted hyperedges (negatives).
+func NewLGR(g *hypergraph.Hypergraph, opts LGROptions) (*LGR, error) {
+	o, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	l := &LGR{g: g, nb: NewNeighborhoods(g), opts: o}
+	l.model.Seed = o.Seed
+	l.model.L2 = o.L2
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	var xs [][]float64
+	var ys []int
+	n := g.NumNodes()
+	for _, e := range g.Edges() {
+		if e.Arity() < o.MinSize || e.Arity() > o.MaxSize {
+			continue
+		}
+		xs = append(xs, l.Features(e.Nodes))
+		ys = append(ys, 1)
+		for k := 0; k < o.NegativeRatio; k++ {
+			neg := corrupt(rng, e.Nodes, n)
+			xs = append(xs, l.Features(neg))
+			ys = append(ys, 0)
+		}
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("baseline: no training hyperedges within size bounds [%d,%d]", o.MinSize, o.MaxSize)
+	}
+	if err := l.model.Train(xs, ys); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// corrupt replaces roughly half the nodes of a positive hyperedge by
+// uniformly random nodes, producing a plausible negative.
+func corrupt(rng *rand.Rand, nodes []hypergraph.NodeID, n int) []hypergraph.NodeID {
+	out := append([]hypergraph.NodeID(nil), nodes...)
+	k := (len(out) + 1) / 2
+	for i := 0; i < k; i++ {
+		out[rng.Intn(len(out))] = hypergraph.NodeID(rng.Intn(n))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Deduplicate (corruption may collide).
+	w := out[:1]
+	for _, v := range out[1:] {
+		if v != w[len(w)-1] {
+			w = append(w, v)
+		}
+	}
+	return w
+}
+
+// Features computes the 6-dimensional feature vector of a candidate node
+// set: mean and minimum pairwise Jaccard, mean and minimum pairwise
+// Adamic/Adar, mean normalized common-neighbour count, and the n-order
+// density (fraction of the candidate's size-≤n sub-edges already present).
+func (l *LGR) Features(nodes []hypergraph.NodeID) []float64 {
+	if len(nodes) < 2 {
+		return make([]float64, 6)
+	}
+	var sumJ, minJ, sumA, minA, sumC float64
+	minJ, minA = 2, 1e9
+	pairs := 0
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			jv := l.nb.Jaccard(nodes[i], nodes[j])
+			av := l.nb.AdamicAdar(nodes[i], nodes[j])
+			cv := l.nb.CommonNeighbors(nodes[i], nodes[j])
+			du := float64(l.nb.Degree(nodes[i]) + l.nb.Degree(nodes[j]) + 2)
+			if du > 0 {
+				cv = 2 * cv / du
+			}
+			sumJ += jv
+			sumA += av
+			sumC += cv
+			if jv < minJ {
+				minJ = jv
+			}
+			if av < minA {
+				minA = av
+			}
+			pairs++
+		}
+	}
+	fp := float64(pairs)
+	return []float64{
+		sumJ / fp, minJ,
+		sumA / fp, minA,
+		sumC / fp,
+		l.subEdgeDensity(nodes),
+	}
+}
+
+// subEdgeDensity is the fraction of the candidate's nodes' incident
+// hyperedges (of size ≤ Order+1) fully contained in the candidate — the
+// n-order expansion signal.
+func (l *LGR) subEdgeDensity(nodes []hypergraph.NodeID) float64 {
+	in := make(map[hypergraph.NodeID]struct{}, len(nodes))
+	for _, v := range nodes {
+		in[v] = struct{}{}
+	}
+	seen := make(map[hypergraph.EdgeID]struct{})
+	contained, touched := 0, 0
+	for _, v := range nodes {
+		for _, e := range l.g.IncidentEdges(v) {
+			if _, dup := seen[e]; dup {
+				continue
+			}
+			seen[e] = struct{}{}
+			edge := l.g.Edge(e)
+			if edge.Arity() > l.opts.Order+1 {
+				continue
+			}
+			touched++
+			inside := true
+			for _, u := range edge.Nodes {
+				if _, ok := in[u]; !ok {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				contained++
+			}
+		}
+	}
+	if touched == 0 {
+		return 0
+	}
+	return float64(contained) / float64(touched)
+}
+
+// Score returns the model's probability that the node set forms a
+// hyperedge.
+func (l *LGR) Score(nodes []hypergraph.NodeID) float64 {
+	return l.model.Predict(l.Features(nodes))
+}
+
+// Predict generates candidate node sets and returns those scoring at or
+// above the acceptance threshold, as HEP-compatible predictions sorted by
+// node set. Candidates come from two generators: (a) existing hyperedges
+// with one member swapped for a non-member neighbor, and (b) per-node
+// neighborhood prefixes of each cardinality in [MinSize, MaxSize].
+func (l *LGR) Predict() []predict.Prediction {
+	rng := rand.New(rand.NewSource(l.opts.Seed + 1))
+	existing := make(map[string]struct{}, l.g.NumEdges())
+	for _, e := range l.g.Edges() {
+		existing[keyOf(e.Nodes)] = struct{}{}
+	}
+	seen := make(map[string]struct{})
+	var out []predict.Prediction
+
+	consider := func(nodes []hypergraph.NodeID, seed hypergraph.NodeID) {
+		if len(nodes) < l.opts.MinSize || len(nodes) > l.opts.MaxSize {
+			return
+		}
+		k := keyOf(nodes)
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		if _, ex := existing[k]; ex {
+			return
+		}
+		if l.Score(nodes) >= l.opts.Threshold {
+			out = append(out, predict.Prediction{Nodes: nodes, Seed: seed})
+		}
+	}
+
+	// (a) Swap one member of each training hyperedge for a neighbor.
+	for _, e := range l.g.Edges() {
+		if e.Arity() < l.opts.MinSize || e.Arity() > l.opts.MaxSize {
+			continue
+		}
+		for trial := 0; trial < l.opts.CandidatesPerNode; trial++ {
+			i := rng.Intn(e.Arity())
+			pivot := e.Nodes[(i+1)%e.Arity()]
+			nbrs := l.g.Neighbors(pivot)
+			if len(nbrs) == 0 {
+				continue
+			}
+			repl := nbrs[rng.Intn(len(nbrs))]
+			if e.Contains(repl) {
+				continue
+			}
+			cand := append([]hypergraph.NodeID(nil), e.Nodes...)
+			cand[i] = repl
+			sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
+			if hasDup(cand) {
+				continue
+			}
+			consider(cand, pivot)
+		}
+	}
+	// (b) Neighborhood prefixes per node.
+	for v := 0; v < l.g.NumNodes(); v++ {
+		nbrs := l.g.Neighbors(hypergraph.NodeID(v)) // includes v, sorted
+		for size := l.opts.MinSize; size <= l.opts.MaxSize && size <= len(nbrs); size++ {
+			cand := append([]hypergraph.NodeID(nil), nbrs[:size]...)
+			consider(cand, hypergraph.NodeID(v))
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool { return lessSets(out[i].Nodes, out[j].Nodes) })
+	return out
+}
+
+func hasDup(sorted []hypergraph.NodeID) bool {
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return true
+		}
+	}
+	return false
+}
+
+func keyOf(nodes []hypergraph.NodeID) string {
+	b := make([]byte, 0, len(nodes)*4)
+	for _, v := range nodes {
+		x := uint32(v)
+		for x >= 0x80 {
+			b = append(b, byte(x)|0x80)
+			x >>= 7
+		}
+		b = append(b, byte(x))
+	}
+	return string(b)
+}
+
+func lessSets(a, b []hypergraph.NodeID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LogReg is a binary logistic-regression classifier with L2 regularization,
+// trained by mini-batch gradient descent. Implemented from scratch on the
+// standard library, as the offline module requires.
+type LogReg struct {
+	Weights []float64
+	Bias    float64
+	// L2 is the regularization strength λ₂ (default 0.01 when zero at
+	// Train time).
+	L2 float64
+	// LearningRate for gradient descent (default 0.1).
+	LearningRate float64
+	// Epochs of full passes over the training data (default 200).
+	Epochs int
+	// Seed for shuffling (default 1).
+	Seed int64
+}
+
+func sigmoid(z float64) float64 {
+	// Clamp to avoid overflow in Exp for extreme logits.
+	if z < -30 {
+		return 0
+	}
+	if z > 30 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Train fits the model to feature rows xs with binary labels ys.
+func (m *LogReg) Train(xs [][]float64, ys []int) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("baseline: empty training set")
+	}
+	if len(xs) != len(ys) {
+		return fmt.Errorf("baseline: %d rows but %d labels", len(xs), len(ys))
+	}
+	dim := len(xs[0])
+	for i, x := range xs {
+		if len(x) != dim {
+			return fmt.Errorf("baseline: row %d has %d features, want %d", i, len(x), dim)
+		}
+	}
+	if m.L2 == 0 {
+		m.L2 = 0.01
+	}
+	if m.LearningRate == 0 {
+		m.LearningRate = 0.1
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 200
+	}
+	seed := m.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	m.Weights = make([]float64, dim)
+	m.Bias = 0
+	order := rng.Perm(len(xs))
+	n := float64(len(xs))
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			x, y := xs[idx], float64(ys[idx])
+			z := m.Bias
+			for d, w := range m.Weights {
+				z += w * x[d]
+			}
+			g := sigmoid(z) - y
+			lr := m.LearningRate
+			for d := range m.Weights {
+				m.Weights[d] -= lr * (g*x[d] + m.L2*m.Weights[d]/n)
+			}
+			m.Bias -= lr * g
+		}
+	}
+	return nil
+}
+
+// Predict returns P(y=1 | x).
+func (m *LogReg) Predict(x []float64) float64 {
+	z := m.Bias
+	for d, w := range m.Weights {
+		if d < len(x) {
+			z += w * x[d]
+		}
+	}
+	return sigmoid(z)
+}

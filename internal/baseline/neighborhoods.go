@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"math"
+
+	"hged/internal/hypergraph"
+)
+
+// Neighborhoods precomputes every node's proper neighbor set once, making
+// repeated similarity evaluations O(|Γ(u)| + |Γ(v)|) instead of rebuilding
+// sets from the incidence lists on every call. The structure is immutable
+// after construction and therefore safe for concurrent readers.
+type Neighborhoods struct {
+	g    *hypergraph.Hypergraph
+	sets []map[hypergraph.NodeID]struct{}
+}
+
+// NewNeighborhoods builds the cache for g.
+func NewNeighborhoods(g *hypergraph.Hypergraph) *Neighborhoods {
+	nb := &Neighborhoods{g: g, sets: make([]map[hypergraph.NodeID]struct{}, g.NumNodes())}
+	for v := 0; v < g.NumNodes(); v++ {
+		nb.sets[v] = neighborSet(g, hypergraph.NodeID(v))
+	}
+	return nb
+}
+
+// Set returns Γ(v) (without v itself). Callers must not mutate it.
+func (nb *Neighborhoods) Set(v hypergraph.NodeID) map[hypergraph.NodeID]struct{} {
+	return nb.sets[v]
+}
+
+// Degree returns |Γ(v)|.
+func (nb *Neighborhoods) Degree(v hypergraph.NodeID) int { return len(nb.sets[v]) }
+
+// CommonNeighbors returns |Γ(u) ∩ Γ(v)|.
+func (nb *Neighborhoods) CommonNeighbors(u, v hypergraph.NodeID) float64 {
+	return float64(interCount(nb.sets[u], nb.sets[v]))
+}
+
+// Jaccard returns the Jaccard similarity of the two neighborhoods.
+func (nb *Neighborhoods) Jaccard(u, v hypergraph.NodeID) float64 {
+	a, b := nb.sets[u], nb.sets[v]
+	inter := interCount(a, b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// AdamicAdar returns the Adamic/Adar index using cached degrees.
+func (nb *Neighborhoods) AdamicAdar(u, v hypergraph.NodeID) float64 {
+	a, b := nb.sets[u], nb.sets[v]
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	sum := 0.0
+	for w := range a {
+		if _, ok := b[w]; !ok {
+			continue
+		}
+		deg := len(nb.sets[w])
+		if deg < 2 {
+			deg = 2
+		}
+		sum += 1 / math.Log(float64(deg))
+	}
+	return sum
+}
+
+// ResourceAllocation returns the resource-allocation index using cached
+// degrees.
+func (nb *Neighborhoods) ResourceAllocation(u, v hypergraph.NodeID) float64 {
+	a, b := nb.sets[u], nb.sets[v]
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	sum := 0.0
+	for w := range a {
+		if _, ok := b[w]; !ok {
+			continue
+		}
+		if deg := len(nb.sets[w]); deg > 0 {
+			sum += 1 / float64(deg)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"hged/internal/hypergraph"
+)
+
+// BFS implements HGED-BFS (Algorithm 3): a best-first branch-and-bound
+// search over entity mappings with the paper's three strategies.
+//
+//   - Strategy 1 re-ranks the source entities: nodes before hyperedges,
+//     higher degree first, equal labels grouped, higher cardinality first.
+//   - Strategy 2 seeds the search with an upper bound computed from greedy
+//     and sampled complete mappings (and the threshold τ, when set).
+//   - Strategy 3 prunes with admissible lower bounds: the label-based bound
+//     Ψ (Definition 5) plus the hyperedge-based cardinality bound
+//     (Definition 6) over the yet-unmapped suffix.
+//
+// States assign the k-th re-ranked source entity to an unused target slot;
+// all node levels precede all edge levels, so edge-mapping costs are exact
+// when incurred. The suffix bounds are consistent (each assignment's cost
+// dominates the bound decrease), so the first complete mapping popped is
+// optimal. The search is exact; when a threshold τ > 0 is set it may stop
+// early with Exceeded=true once HGED > τ is proven.
+//
+// Label multisets are tracked as dense arrays over the pair's label
+// dictionary, so per-state bound maintenance is allocation-free: Ψ updates
+// in O(1) per candidate from the popped state's base quantities, and the
+// cardinality bound recomputes in O(M) over sorted remainders.
+func BFS(g, h *hypergraph.Hypergraph, opts Options) Result {
+	p := newPairModel(g, h, opts.costModel())
+	s := newBFSSearch(p, opts)
+	return s.run(opts)
+}
+
+// bfsSearch holds the per-run state of HGED-BFS.
+type bfsSearch struct {
+	p    *pair
+	N, M int
+
+	nodeOrder, edgeOrder []int
+
+	// Source suffix label counts (dense) and cardinality lists per level
+	// (immutable after construction).
+	srcNodeCnt   [][]int32 // [node level 0..N][label]
+	srcNodeSize  []int
+	srcEdgeCnt   [][]int32 // [edge level 0..M][label]
+	srcEdgeSize  []int
+	srcEdgeCards [][]int // ascending
+
+	useLB bool
+
+	// Per-pop scratch (reused across pops).
+	usedNodes, usedEdges []bool
+	nodeMapBuf           []int
+	tgtNodeCnt           []int32
+	tgtNodeSize          int
+	tgtEdgeCnt           []int32
+	tgtEdgeSize          int
+	tgtEdgeCards         []int // ascending
+	cardScratch          []int
+}
+
+func newBFSSearch(p *pair, opts Options) *bfsSearch {
+	N, M := p.paddedN, p.paddedM
+	s := &bfsSearch{
+		p: p, N: N, M: M,
+		nodeOrder:  rerankNodes(p.src, N, opts.DisableRerank),
+		edgeOrder:  rerankEdges(p.src, M, opts.DisableRerank),
+		useLB:      !opts.DisableLowerBound,
+		usedNodes:  make([]bool, N),
+		usedEdges:  make([]bool, M),
+		nodeMapBuf: make([]int, N),
+		tgtNodeCnt: make([]int32, p.numNodeLab),
+		tgtEdgeCnt: make([]int32, p.numEdgeLab),
+	}
+
+	// Source node-label suffixes.
+	s.srcNodeCnt = make([][]int32, N+1)
+	s.srcNodeSize = make([]int, N+1)
+	cur := make([]int32, p.numNodeLab)
+	for _, l := range p.srcNodeLab {
+		cur[l]++
+	}
+	size := p.src.n
+	s.srcNodeCnt[0] = append([]int32(nil), cur...)
+	s.srcNodeSize[0] = size
+	for k := 0; k < N; k++ {
+		if v := s.nodeOrder[k]; v < p.src.n {
+			cur[p.srcNodeLab[v]]--
+			size--
+		}
+		s.srcNodeCnt[k+1] = append([]int32(nil), cur...)
+		s.srcNodeSize[k+1] = size
+	}
+	// Source edge-label and cardinality suffixes.
+	s.srcEdgeCnt = make([][]int32, M+1)
+	s.srcEdgeSize = make([]int, M+1)
+	s.srcEdgeCards = make([][]int, M+1)
+	ecur := make([]int32, p.numEdgeLab)
+	for _, l := range p.srcEdgeLab {
+		ecur[l]++
+	}
+	esize := p.src.m
+	cards := append([]int(nil), p.src.cards...)
+	sort.Ints(cards)
+	s.srcEdgeCnt[0] = append([]int32(nil), ecur...)
+	s.srcEdgeSize[0] = esize
+	s.srcEdgeCards[0] = append([]int(nil), cards...)
+	for k := 0; k < M; k++ {
+		if e := s.edgeOrder[k]; e < p.src.m {
+			ecur[p.srcEdgeLab[e]]--
+			esize--
+			cards = removeSortedInt(cards, p.src.cards[e])
+		}
+		s.srcEdgeCnt[k+1] = append([]int32(nil), ecur...)
+		s.srcEdgeSize[k+1] = esize
+		s.srcEdgeCards[k+1] = append([]int(nil), cards...)
+	}
+	return s
+}
+
+func removeSortedInt(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	if i < len(xs) && xs[i] == v {
+		out := make([]int, 0, len(xs)-1)
+		out = append(out, xs[:i]...)
+		return append(out, xs[i+1:]...)
+	}
+	return xs
+}
+
+// restore rebuilds the scratch state (used slots, node-map prefix, target
+// remaining counts) for the popped search node by walking its parent chain.
+func (s *bfsSearch) restore(st *state) {
+	p := s.p
+	for i := range s.usedNodes {
+		s.usedNodes[i] = false
+	}
+	for i := range s.usedEdges {
+		s.usedEdges[i] = false
+	}
+	for i := range s.tgtNodeCnt {
+		s.tgtNodeCnt[i] = 0
+	}
+	for _, l := range p.tgtNodeLab {
+		s.tgtNodeCnt[l]++
+	}
+	s.tgtNodeSize = p.tgt.n
+	for i := range s.tgtEdgeCnt {
+		s.tgtEdgeCnt[i] = 0
+	}
+	for _, l := range p.tgtEdgeLab {
+		s.tgtEdgeCnt[l]++
+	}
+	s.tgtEdgeSize = p.tgt.m
+	s.tgtEdgeCards = append(s.tgtEdgeCards[:0], p.tgt.cards...)
+	sort.Ints(s.tgtEdgeCards)
+
+	for cur := st; cur.parent != nil; cur = cur.parent {
+		lvl := int(cur.parent.level)
+		choice := int(cur.choice)
+		if lvl < s.N {
+			s.usedNodes[choice] = true
+			s.nodeMapBuf[s.nodeOrder[lvl]] = choice
+			if choice < p.tgt.n {
+				s.tgtNodeCnt[p.tgtNodeLab[choice]]--
+				s.tgtNodeSize--
+			}
+		} else {
+			s.usedEdges[choice] = true
+			if choice < p.tgt.m {
+				s.tgtEdgeCnt[p.tgtEdgeLab[choice]]--
+				s.tgtEdgeSize--
+				s.tgtEdgeCards = removeSortedIntInPlace(s.tgtEdgeCards, p.tgt.cards[choice])
+			}
+		}
+	}
+}
+
+func removeSortedIntInPlace(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	if i < len(xs) && xs[i] == v {
+		copy(xs[i:], xs[i+1:])
+		return xs[:len(xs)-1]
+	}
+	return xs
+}
+
+func interSize(a, b []int32) int {
+	n := 0
+	for i, x := range a {
+		y := b[i]
+		if x < y {
+			n += int(x)
+		} else {
+			n += int(y)
+		}
+	}
+	return n
+}
+
+func (s *bfsSearch) run(opts Options) Result {
+	p := s.p
+	N, M := s.N, s.M
+	total := N + M
+
+	// Strategy 2: initial incumbent.
+	incumbent := 1 << 30
+	var incumbentMap *Mapping
+	if !opts.DisableUpperBound {
+		incumbent, incumbentMap = p.upperBound(opts.samples(), opts.seed())
+	}
+	bound := incumbent
+	if !opts.unbounded() && opts.Threshold+1 < bound {
+		bound = opts.Threshold + 1
+	}
+
+	rootLB := 0
+	if s.useLB {
+		rootLB = lowerBoundDataModel(p.src, p.tgt, p.w)
+	}
+
+	pq := &stateHeap{}
+	heap.Init(pq)
+	if rootLB < bound {
+		heap.Push(pq, &state{level: 0, g: 0, f: int32(rootLB)})
+	}
+
+	budget := opts.maxExpansions()
+	var expanded int64
+	capped := false
+	var goal *state
+
+	for pq.Len() > 0 {
+		st := heap.Pop(pq).(*state)
+		if int(st.f) >= bound {
+			continue // stale against a tightened incumbent
+		}
+		expanded++
+		if expanded > budget {
+			capped = true
+			break
+		}
+		if int(st.level) == total {
+			goal = st
+			break
+		}
+		s.restore(st)
+
+		lvl := int(st.level)
+		if lvl < N {
+			s.expandNodeLevel(st, lvl, bound, pq)
+		} else {
+			s.expandEdgeLevel(st, lvl, bound, pq)
+		}
+	}
+
+	res := Result{Expanded: expanded, Exact: !capped}
+	switch {
+	case goal != nil:
+		res.Distance = int(goal.g)
+		res.Path = p.extractPath(reconstructMapping(p, goal, s.nodeOrder, s.edgeOrder))
+	case capped:
+		// Budget exhausted: fall back to the best known upper bound.
+		if incumbentMap == nil {
+			incumbent, incumbentMap = p.upperBound(opts.samples(), opts.seed())
+		}
+		res.Distance = incumbent
+		res.Path = p.extractPath(incumbentMap)
+		return res
+	default:
+		// Queue exhausted below bound: the incumbent (or exceedance) is
+		// the answer.
+		res.Distance = incumbent
+		if incumbentMap != nil && incumbent < 1<<30 {
+			res.Path = p.extractPath(incumbentMap)
+		}
+	}
+	if !opts.unbounded() && res.Distance > opts.Threshold {
+		res.Exceeded = true
+		res.Distance = opts.Threshold + 1 // proven lower bound
+		res.Path = nil
+	}
+	return res
+}
+
+// expandNodeLevel pushes the children of a node-level state. The hyperedge
+// part of the suffix bound is constant across all node levels (no hyperedge
+// is mapped yet), and the node-label Ψ updates in O(1) per candidate.
+func (s *bfsSearch) expandNodeLevel(st *state, lvl, bound int, pq *stateHeap) {
+	p := s.p
+	src := s.nodeOrder[lvl]
+	suffix := s.srcNodeCnt[lvl+1]
+	sizeA := s.srcNodeSize[lvl+1]
+	var sizeB, interAB, edgeLB int
+	if s.useLB {
+		sizeB = s.tgtNodeSize
+		interAB = interSize(suffix, s.tgtNodeCnt)
+		// Full edge-part bound: no hyperedges are mapped at node levels.
+		edgePsi := maxInt(s.srcEdgeSize[0], s.tgtEdgeSize) - interSize(s.srcEdgeCnt[0], s.tgtEdgeCnt)
+		edgeLB = weightedPsi(edgePsi, s.srcEdgeSize[0]-s.tgtEdgeSize, p.w.Edge, p.w.minEdgeMismatch()) +
+			sortedL1(s.srcEdgeCards[0], s.tgtEdgeCards)*p.w.Incidence
+	}
+	for j := 0; j < s.N; j++ {
+		if s.usedNodes[j] {
+			continue
+		}
+		childG := int(st.g) + p.nodeCost(src, j)
+		childLB := edgeLB
+		if s.useLB {
+			inter, size := interAB, sizeB
+			if j < p.tgt.n {
+				l := p.tgtNodeLab[j]
+				if cb := s.tgtNodeCnt[l]; cb >= 1 && cb <= suffix[l] {
+					inter--
+				}
+				size--
+			}
+			psi := maxInt(sizeA, size) - inter
+			childLB += weightedPsi(psi, sizeA-size, p.w.Node, p.w.minNodeMismatch())
+		}
+		if f := childG + childLB; f < bound {
+			heap.Push(pq, &state{parent: st, choice: int32(j), level: st.level + 1, g: int32(childG), f: int32(f)})
+		}
+	}
+}
+
+// expandEdgeLevel pushes the children of an edge-level state; the node
+// mapping is complete, so edge costs are exact.
+func (s *bfsSearch) expandEdgeLevel(st *state, lvl, bound int, pq *stateHeap) {
+	p := s.p
+	elvl := lvl - s.N
+	src := s.edgeOrder[elvl]
+	suffix := s.srcEdgeCnt[elvl+1]
+	sizeA := s.srcEdgeSize[elvl+1]
+	srcCards := s.srcEdgeCards[elvl+1]
+	var sizeB, interAB int
+	if s.useLB {
+		sizeB = s.tgtEdgeSize
+		interAB = interSize(suffix, s.tgtEdgeCnt)
+	}
+	for j := 0; j < s.M; j++ {
+		if s.usedEdges[j] {
+			continue
+		}
+		childG := int(st.g) + p.edgeCost(src, j, s.nodeMapBuf)
+		childLB := 0
+		if s.useLB {
+			inter, size := interAB, sizeB
+			cards := s.tgtEdgeCards
+			if j < p.tgt.m {
+				l := p.tgtEdgeLab[j]
+				if cb := s.tgtEdgeCnt[l]; cb >= 1 && cb <= suffix[l] {
+					inter--
+				}
+				size--
+				s.cardScratch = append(s.cardScratch[:0], s.tgtEdgeCards...)
+				cards = removeSortedIntInPlace(s.cardScratch, p.tgt.cards[j])
+			}
+			psi := maxInt(sizeA, size) - inter
+			childLB = weightedPsi(psi, sizeA-size, p.w.Edge, p.w.minEdgeMismatch()) +
+				sortedL1(srcCards, cards)*p.w.Incidence
+		}
+		if f := childG + childLB; f < bound {
+			heap.Push(pq, &state{parent: st, choice: int32(j), level: st.level + 1, g: int32(childG), f: int32(f)})
+		}
+	}
+}
+
+// state is a search node: the assignment made at the parent's level to reach
+// it, the exact accumulated cost g, and the admissible estimate f = g + h.
+type state struct {
+	parent *state
+	choice int32
+	level  int32
+	g      int32
+	f      int32
+}
+
+func reconstructMapping(p *pair, goal *state, nodeOrder, edgeOrder []int) *Mapping {
+	N, M := p.paddedN, p.paddedM
+	mp := &Mapping{
+		SrcN: p.src.n, TgtN: p.tgt.n,
+		SrcM: p.src.m, TgtM: p.tgt.m,
+		NodeMap: make([]int, N),
+		EdgeMap: make([]int, M),
+	}
+	for s := goal; s.parent != nil; s = s.parent {
+		lvl := int(s.parent.level)
+		if lvl < N {
+			mp.NodeMap[nodeOrder[lvl]] = int(s.choice)
+		} else {
+			mp.EdgeMap[edgeOrder[lvl-N]] = int(s.choice)
+		}
+	}
+	return mp
+}
+
+// stateHeap is a min-heap on f, breaking ties toward deeper states so goals
+// surface sooner.
+type stateHeap []*state
+
+func (h stateHeap) Len() int { return len(h) }
+func (h stateHeap) Less(i, j int) bool {
+	if h[i].f != h[j].f {
+		return h[i].f < h[j].f
+	}
+	return h[i].level > h[j].level
+}
+func (h stateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *stateHeap) Push(x interface{}) {
+	*h = append(*h, x.(*state))
+}
+func (h *stateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sort"
+
+	"hged/internal/assign"
+	"hged/internal/hypergraph"
+)
+
+// EDCInaccurate computes the edit-cost *instance* of procedure EDC-INAC
+// (Algorithm 1, lines 17–31) for a complete padded node mapping: node
+// mapping costs plus, per hyperedge, either an exact-set match (label
+// comparison only) or a full delete/insert charge. As Observation 4.1
+// notes, this is an upper bound on the exact edit cost of the mapping, not
+// the minimum: unmatched hyperedges are wholly deleted and re-inserted
+// rather than incrementally extended/reduced.
+//
+// One refinement over the paper's pseudocode: exact-set matches are
+// consumed with multiplicity (two source hyperedges cannot both claim the
+// same target hyperedge), which keeps the result a sound upper bound when
+// duplicate hyperedges are present.
+func EDCInaccurate(g, h *hypergraph.Hypergraph, nodeMap []int) int {
+	return newPair(g, h).edcInaccurate(nodeMap)
+}
+
+func (p *pair) edcInaccurate(nodeMap []int) int {
+	cost := 0
+	for i, j := range nodeMap {
+		cost += p.nodeCost(i, j)
+	}
+
+	// Index target hyperedges by canonical member-set key, with
+	// multiplicity.
+	type bucket struct{ idxs []int }
+	index := make(map[string]*bucket, p.tgt.m)
+	for f := 0; f < p.tgt.m; f++ {
+		k := setKey(p.tgt.edgeNodes[f])
+		b := index[k]
+		if b == nil {
+			b = &bucket{}
+			index[k] = b
+		}
+		b.idxs = append(b.idxs, f)
+	}
+	matchedTgt := make([]bool, p.tgt.m)
+
+	mapped := make([]int, 0, 16)
+	for e := 0; e < p.src.m; e++ {
+		mapped = mapped[:0]
+		valid := true
+		for _, u := range p.src.edgeNodes[e] {
+			j := nodeMap[u]
+			if j >= p.tgt.n {
+				valid = false // member deleted: mapped set is no hyperedge
+				break
+			}
+			mapped = append(mapped, j)
+		}
+		var f = -1
+		if valid {
+			sort.Ints(mapped)
+			if b := index[setKey(mapped)]; b != nil {
+				for _, cand := range b.idxs {
+					if !matchedTgt[cand] {
+						f = cand
+						break
+					}
+				}
+			}
+		}
+		if f < 0 {
+			// Whole hyperedge charged: one reduction per member plus the
+			// deletion charge.
+			cost += p.src.cards[e]*p.w.Incidence + p.w.Edge
+			continue
+		}
+		matchedTgt[f] = true
+		if p.src.edgeLabels[e] != p.tgt.edgeLabels[f] {
+			cost += p.w.EdgeRelabel
+		}
+	}
+	// Target hyperedges never claimed are charged as insertions.
+	for f := 0; f < p.tgt.m; f++ {
+		if !matchedTgt[f] {
+			cost += p.tgt.cards[f]*p.w.Incidence + p.w.Edge
+		}
+	}
+	return cost
+}
+
+func setKey(nodes []int) string {
+	b := make([]byte, 0, len(nodes)*4)
+	for _, v := range nodes {
+		x := uint32(v)
+		for x >= 0x80 {
+			b = append(b, byte(x)|0x80)
+			x >>= 7
+		}
+		b = append(b, byte(x))
+	}
+	return string(b)
+}
+
+// EDCPermutation computes the exact minimum edit cost of transforming g into
+// h under the complete padded node mapping, by enumerating hyperedge
+// permutations with branch-and-bound pruning — the bipartite-graph-based
+// computation of Algorithm 2.
+func EDCPermutation(g, h *hypergraph.Hypergraph, nodeMap []int) int {
+	p := newPair(g, h)
+	nodeCost := 0
+	for i, j := range nodeMap {
+		nodeCost += p.nodeCost(i, j)
+	}
+	return nodeCost + p.edgeCostPermutation(nodeMap, -1)
+}
+
+// edgeCostPermutation returns the minimum total hyperedge-mapping cost under
+// nodeMap, enumerating permutations of edge slots with pruning. A
+// non-negative budget makes the search abandon branches whose cost meets or
+// exceeds it, returning at least the budget if no cheaper completion exists.
+func (p *pair) edgeCostPermutation(nodeMap []int, budget int) int {
+	M := p.paddedM
+	if M == 0 {
+		return 0
+	}
+	best := 1 << 30
+	if budget >= 0 {
+		best = budget
+	}
+	usedTgt := make([]bool, M)
+	var rec func(e, acc int)
+	rec = func(e, acc int) {
+		if acc >= best {
+			return
+		}
+		if e == M {
+			best = acc
+			return
+		}
+		for f := 0; f < M; f++ {
+			if usedTgt[f] {
+				continue
+			}
+			usedTgt[f] = true
+			rec(e+1, acc+p.edgeCost(e, f, nodeMap))
+			usedTgt[f] = false
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// EDCAssignment computes the same exact minimum edit cost as EDCPermutation
+// but solves the hyperedge pairing as an O(M³) assignment problem: the cost
+// of pairing hyperedge slot e with slot f under a fixed node mapping is
+// independent of all other pairs, so the Hungarian optimum is the optimal
+// hyperedge mapping.
+func EDCAssignment(g, h *hypergraph.Hypergraph, nodeMap []int) int {
+	p := newPair(g, h)
+	nodeCost := 0
+	for i, j := range nodeMap {
+		nodeCost += p.nodeCost(i, j)
+	}
+	return nodeCost + p.edgeCostAssignment(nodeMap)
+}
+
+func (p *pair) edgeCostAssignment(nodeMap []int) int {
+	M := p.paddedM
+	if M == 0 {
+		return 0
+	}
+	cost := make([][]int64, M)
+	for e := 0; e < M; e++ {
+		cost[e] = make([]int64, M)
+		for f := 0; f < M; f++ {
+			cost[e][f] = int64(p.edgeCost(e, f, nodeMap))
+		}
+	}
+	_, total := assign.Solve(cost)
+	return int(total)
+}
+
+// edgeAssignment returns the optimal hyperedge mapping (source slot → target
+// slot) under nodeMap, via the Hungarian solver.
+func (p *pair) edgeAssignment(nodeMap []int) []int {
+	M := p.paddedM
+	if M == 0 {
+		return nil
+	}
+	cost := make([][]int64, M)
+	for e := 0; e < M; e++ {
+		cost[e] = make([]int64, M)
+		for f := 0; f < M; f++ {
+			cost[e][f] = int64(p.edgeCost(e, f, nodeMap))
+		}
+	}
+	rowToCol, _ := assign.Solve(cost)
+	return rowToCol
+}

@@ -1,0 +1,45 @@
+package core
+
+import "hged/internal/hypergraph"
+
+// Distance computes the exact hypergraph edit distance HGED(g, h)
+// (Definition 3) using HGED-BFS with all pruning strategies enabled.
+func Distance(g, h *hypergraph.Hypergraph) int {
+	return BFS(g, h, Options{}).Distance
+}
+
+// DistanceWithin verifies whether HGED(g, h) ≤ tau. It returns the exact
+// distance and true when within the threshold; otherwise (0, false). tau
+// must be ≥ 0.
+func DistanceWithin(g, h *hypergraph.Hypergraph, tau int) (int, bool) {
+	if tau < 0 {
+		return 0, false
+	}
+	// Threshold 0 would mean "unbounded" to Options; check isomorphism
+	// directly through a τ=1 search instead.
+	opts := Options{Threshold: tau}
+	if tau == 0 {
+		if hypergraph.Isomorphic(g, h) {
+			return 0, true
+		}
+		return 0, false
+	}
+	res := BFS(g, h, opts)
+	if res.Exceeded {
+		return 0, false
+	}
+	return res.Distance, true
+}
+
+// DistanceWithPath computes HGED(g, h) and an optimal hypergraph edit path
+// realizing it (Section IV-D).
+func DistanceWithPath(g, h *hypergraph.Hypergraph) (int, *Path) {
+	res := BFS(g, h, Options{})
+	return res.Distance, res.Path
+}
+
+// NodeDistance computes the node-similar distance σ(u, v) of Problem 1: the
+// HGED between the ego networks of u and v in host graph g.
+func NodeDistance(g *hypergraph.Hypergraph, u, v hypergraph.NodeID, opts Options) Result {
+	return BFS(g.Ego(u), g.Ego(v), opts)
+}

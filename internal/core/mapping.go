@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+
+	"hged/internal/hypergraph"
+)
+
+// Mapping is a complete correspondence between the entities of a source and
+// a target hypergraph, with the smaller side padded by null entities
+// (Lemma 4.1 guarantees an optimal edit sequence needs no node insertion
+// when the source is at least as large, which padding encodes symmetrically):
+//
+//   - NodeMap[i] = j maps source node slot i to target node slot j. Slots
+//     < SrcN (resp. < TgtN) are real nodes; higher slots are nulls. A real
+//     source node mapped to a null target slot is deleted; a null source
+//     slot mapped to a real target node is inserted.
+//   - EdgeMap analogously for hyperedges.
+//
+// Both maps are permutations of 0..N-1 and 0..M-1 where N = max(n, n') and
+// M = max(m, m').
+type Mapping struct {
+	SrcN, TgtN int // real node counts n, n'
+	SrcM, TgtM int // real hyperedge counts m, m'
+	NodeMap    []int
+	EdgeMap    []int
+}
+
+// PaddedN returns N = max(SrcN, TgtN).
+func (mp *Mapping) PaddedN() int { return maxInt(mp.SrcN, mp.TgtN) }
+
+// PaddedM returns M = max(SrcM, TgtM).
+func (mp *Mapping) PaddedM() int { return maxInt(mp.SrcM, mp.TgtM) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Validate checks that both maps are permutations of the padded ranges.
+func (mp *Mapping) Validate() error {
+	if err := checkPerm("NodeMap", mp.NodeMap, mp.PaddedN()); err != nil {
+		return err
+	}
+	return checkPerm("EdgeMap", mp.EdgeMap, mp.PaddedM())
+}
+
+func checkPerm(name string, perm []int, n int) error {
+	if len(perm) != n {
+		return fmt.Errorf("core: %s has length %d, want %d", name, len(perm), n)
+	}
+	seen := make([]bool, n)
+	for i, j := range perm {
+		if j < 0 || j >= n {
+			return fmt.Errorf("core: %s[%d] = %d out of range", name, i, j)
+		}
+		if seen[j] {
+			return fmt.Errorf("core: %s maps twice to %d", name, j)
+		}
+		seen[j] = true
+	}
+	return nil
+}
+
+// graphData is the solver-internal compiled form of a hypergraph: flat label
+// slices, edge member lists, and per-edge membership bitsets for O(1)
+// intersection tests.
+type graphData struct {
+	n, m       int
+	nodeLabels []hypergraph.Label
+	edgeLabels []hypergraph.Label
+	edgeNodes  [][]int
+	cards      []int
+	// memberBits[e] is a bitset over node ids marking membership in edge e.
+	memberBits [][]uint64
+	degrees    []int
+}
+
+func compile(g *hypergraph.Hypergraph) *graphData {
+	n, m := g.NumNodes(), g.NumEdges()
+	d := &graphData{
+		n:          n,
+		m:          m,
+		nodeLabels: make([]hypergraph.Label, n),
+		edgeLabels: make([]hypergraph.Label, m),
+		edgeNodes:  make([][]int, m),
+		cards:      make([]int, m),
+		memberBits: make([][]uint64, m),
+		degrees:    make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		d.nodeLabels[v] = g.NodeLabel(hypergraph.NodeID(v))
+		d.degrees[v] = g.Degree(hypergraph.NodeID(v))
+	}
+	words := (n + 63) / 64
+	for e := 0; e < m; e++ {
+		edge := g.Edge(hypergraph.EdgeID(e))
+		d.edgeLabels[e] = edge.Label
+		d.cards[e] = edge.Arity()
+		nodes := make([]int, edge.Arity())
+		bits := make([]uint64, words)
+		for i, v := range edge.Nodes {
+			nodes[i] = int(v)
+			bits[int(v)/64] |= 1 << (uint(v) % 64)
+		}
+		d.edgeNodes[e] = nodes
+		d.memberBits[e] = bits
+	}
+	return d
+}
+
+func (d *graphData) contains(e, v int) bool {
+	if v < 0 || v >= d.n {
+		return false
+	}
+	return d.memberBits[e][v/64]&(1<<(uint(v)%64)) != 0
+}
+
+// pair bundles the compiled source and target for cost evaluation, with
+// shared dense label dictionaries so search code can use array-indexed
+// label multisets instead of maps.
+type pair struct {
+	src, tgt *graphData
+	paddedN  int
+	paddedM  int
+	w        CostModel
+	// Dense label indices over the union of both graphs' labels.
+	srcNodeLab, tgtNodeLab []int
+	srcEdgeLab, tgtEdgeLab []int
+	numNodeLab, numEdgeLab int
+}
+
+func newPair(g, h *hypergraph.Hypergraph) *pair {
+	return newPairModel(g, h, UnitCosts())
+}
+
+func newPairModel(g, h *hypergraph.Hypergraph, w CostModel) *pair {
+	s, t := compile(g), compile(h)
+	p := &pair{
+		src:     s,
+		tgt:     t,
+		paddedN: maxInt(s.n, t.n),
+		paddedM: maxInt(s.m, t.m),
+		w:       w,
+	}
+	nodeDict := make(map[hypergraph.Label]int)
+	p.srcNodeLab = densify(s.nodeLabels, nodeDict)
+	p.tgtNodeLab = densify(t.nodeLabels, nodeDict)
+	p.numNodeLab = len(nodeDict)
+	edgeDict := make(map[hypergraph.Label]int)
+	p.srcEdgeLab = densify(s.edgeLabels, edgeDict)
+	p.tgtEdgeLab = densify(t.edgeLabels, edgeDict)
+	p.numEdgeLab = len(edgeDict)
+	return p
+}
+
+func densify(labels []hypergraph.Label, dict map[hypergraph.Label]int) []int {
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		idx, ok := dict[l]
+		if !ok {
+			idx = len(dict)
+			dict[l] = idx
+		}
+		out[i] = idx
+	}
+	return out
+}
+
+// nodeCost returns the cost of mapping source node slot i to target node
+// slot j: a relabel for mismatched real-real pairs, a node deletion or
+// insertion when one side is null.
+func (p *pair) nodeCost(i, j int) int {
+	iReal, jReal := i < p.src.n, j < p.tgt.n
+	switch {
+	case iReal && jReal:
+		if p.src.nodeLabels[i] != p.tgt.nodeLabels[j] {
+			return p.w.NodeRelabel
+		}
+		return 0
+	case iReal != jReal:
+		return p.w.Node // deletion or insertion
+	default:
+		return 0 // null-null (cannot occur with one-sided padding)
+	}
+}
+
+// edgeCost returns the exact cost of mapping source edge slot e to target
+// edge slot f under a complete node map: label mismatch plus the symmetric
+// difference |fmap(E_e) Δ E'_f| of incidences, or cardinality+1 for
+// deletion/insertion.
+func (p *pair) edgeCost(e, f int, nodeMap []int) int {
+	eReal, fReal := e < p.src.m, f < p.tgt.m
+	switch {
+	case eReal && fReal:
+		cost := 0
+		if p.src.edgeLabels[e] != p.tgt.edgeLabels[f] {
+			cost = p.w.EdgeRelabel
+		}
+		inter := 0
+		for _, u := range p.src.edgeNodes[e] {
+			if p.tgt.contains(f, nodeMap[u]) {
+				inter++
+			}
+		}
+		return cost + (p.src.cards[e]+p.tgt.cards[f]-2*inter)*p.w.Incidence
+	case eReal:
+		// Delete edge: reduce each member, then delete.
+		return p.w.Edge + p.src.cards[e]*p.w.Incidence
+	case fReal:
+		// Insert edge: insert empty, then extend.
+		return p.w.Edge + p.tgt.cards[f]*p.w.Incidence
+	default:
+		return 0
+	}
+}
+
+// totalCost evaluates the exact edit cost of a complete mapping.
+func (p *pair) totalCost(mp *Mapping) int {
+	cost := 0
+	for i, j := range mp.NodeMap {
+		cost += p.nodeCost(i, j)
+	}
+	for e, f := range mp.EdgeMap {
+		cost += p.edgeCost(e, f, mp.NodeMap)
+	}
+	return cost
+}
+
+// Cost computes the exact edit cost of transforming g into h under the
+// complete mapping mp. It is exported for tests and tooling; the solvers
+// use the same evaluation internally.
+func Cost(g, h *hypergraph.Hypergraph, mp *Mapping) (int, error) {
+	if mp.SrcN != g.NumNodes() || mp.TgtN != h.NumNodes() ||
+		mp.SrcM != g.NumEdges() || mp.TgtM != h.NumEdges() {
+		return 0, fmt.Errorf("core: mapping sized for (%d,%d)x(%d,%d), graphs are (%d,%d)x(%d,%d)",
+			mp.SrcN, mp.SrcM, mp.TgtN, mp.TgtM,
+			g.NumNodes(), g.NumEdges(), h.NumNodes(), h.NumEdges())
+	}
+	if err := mp.Validate(); err != nil {
+		return 0, err
+	}
+	return newPair(g, h).totalCost(mp), nil
+}
+
+// extractPath derives an explicit edit path from a complete mapping. The
+// number of operations equals the mapping's exact cost. Operations are
+// ordered so that Path.Apply succeeds: node insertions first, then
+// relabels, matched-edge extend/reduce, edge insertions (+extends), edge
+// deletions (reduce to empty, then delete), and finally node deletions.
+func (p *pair) extractPath(mp *Mapping) *Path {
+	var ops []Op
+	// Inverse node map: target slot -> source slot.
+	invNode := make([]int, mp.PaddedN())
+	for i, j := range mp.NodeMap {
+		invNode[j] = i
+	}
+
+	// 1. Node insertions (null source slot -> real target node). The new
+	// node occupies its source slot id and takes the target node's label.
+	for i, j := range mp.NodeMap {
+		if i >= p.src.n && j < p.tgt.n {
+			ops = append(ops, Op{Kind: OpNodeInsert, Node: i, Label: p.tgt.nodeLabels[j]})
+		}
+	}
+	// 2. Node relabels.
+	for i, j := range mp.NodeMap {
+		if i < p.src.n && j < p.tgt.n && p.src.nodeLabels[i] != p.tgt.nodeLabels[j] {
+			ops = append(ops, Op{Kind: OpNodeRelabel, Node: i, Label: p.tgt.nodeLabels[j]})
+		}
+	}
+	// 3. Matched real-real edges: relabel, reduce members not mapping into
+	// the target edge, extend with preimages of uncovered target members.
+	for e, f := range mp.EdgeMap {
+		if e >= p.src.m || f >= p.tgt.m {
+			continue
+		}
+		if p.src.edgeLabels[e] != p.tgt.edgeLabels[f] {
+			ops = append(ops, Op{Kind: OpEdgeRelabel, Edge: e, Label: p.tgt.edgeLabels[f]})
+		}
+		for _, u := range p.src.edgeNodes[e] {
+			if !p.tgt.contains(f, mp.NodeMap[u]) {
+				ops = append(ops, Op{Kind: OpEdgeReduce, Edge: e, Node: u})
+			}
+		}
+		for _, v := range p.tgt.edgeNodes[f] {
+			u := invNode[v]
+			if u >= p.src.n || !p.src.contains(e, u) {
+				ops = append(ops, Op{Kind: OpEdgeExtend, Edge: e, Node: u})
+			}
+		}
+	}
+	// 4. Edge insertions (null source slot -> real target edge): insert an
+	// empty hyperedge then extend it with the preimages of the target
+	// edge's members.
+	for e, f := range mp.EdgeMap {
+		if e < p.src.m || f >= p.tgt.m {
+			continue
+		}
+		ops = append(ops, Op{Kind: OpEdgeInsert, Edge: e, Label: p.tgt.edgeLabels[f]})
+		for _, v := range p.tgt.edgeNodes[f] {
+			ops = append(ops, Op{Kind: OpEdgeExtend, Edge: e, Node: invNode[v]})
+		}
+	}
+	// 5. Edge deletions (real source edge -> null target slot): reduce to
+	// cardinality 0 then delete.
+	for e, f := range mp.EdgeMap {
+		if e >= p.src.m || f < p.tgt.m {
+			continue
+		}
+		for _, u := range p.src.edgeNodes[e] {
+			ops = append(ops, Op{Kind: OpEdgeReduce, Edge: e, Node: u})
+		}
+		ops = append(ops, Op{Kind: OpEdgeDelete, Edge: e})
+	}
+	// 6. Node deletions (real source node -> null target slot).
+	for i, j := range mp.NodeMap {
+		if i < p.src.n && j >= p.tgt.n {
+			ops = append(ops, Op{Kind: OpNodeDelete, Node: i})
+		}
+	}
+	return &Path{Ops: ops, Mapping: *mp}
+}

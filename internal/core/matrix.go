@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync"
+
+	"hged/internal/hypergraph"
+)
+
+// NotWithin is the Matrix entry for pairs whose distance provably exceeds
+// the threshold.
+const NotWithin = -1
+
+// Matrix computes all pairwise HGED values among the given hypergraphs,
+// optionally in parallel. The result is symmetric with a zero diagonal.
+// When opts carries a threshold τ > 0, entries beyond it are NotWithin.
+// workers ≤ 1 runs sequentially; results are identical either way.
+func Matrix(graphs []*hypergraph.Hypergraph, opts Options, workers int) [][]int {
+	n := len(graphs)
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = make([]int, n)
+	}
+	type job struct{ i, j int }
+	var jobs []job
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			jobs = append(jobs, job{i, j})
+		}
+	}
+	run := func(jb job) {
+		res := BFS(graphs[jb.i], graphs[jb.j], opts)
+		d := res.Distance
+		if res.Exceeded {
+			d = NotWithin
+		}
+		out[jb.i][jb.j] = d
+		out[jb.j][jb.i] = d
+	}
+	if workers <= 1 {
+		for _, jb := range jobs {
+			run(jb)
+		}
+		return out
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range ch {
+				run(jb)
+			}
+		}()
+	}
+	for _, jb := range jobs {
+		ch <- jb
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
+
+// NodeMatrix computes the pairwise node-similar distances σ(u, v) among the
+// given nodes of one host graph (Problem 1, batched): the ego networks are
+// extracted once and compared pairwise.
+func NodeMatrix(g *hypergraph.Hypergraph, nodes []hypergraph.NodeID, opts Options, workers int) [][]int {
+	egos := make([]*hypergraph.Hypergraph, len(nodes))
+	for i, v := range nodes {
+		egos[i] = g.Ego(v)
+	}
+	return Matrix(egos, opts, workers)
+}

@@ -1,0 +1,91 @@
+package core
+
+// Options configures the HGED solvers. The zero value means: no threshold,
+// default expansion budget, all pruning strategies enabled, seed 1.
+type Options struct {
+	// Threshold is the verification threshold τ. When > 0, the solver may
+	// stop as soon as it can prove HGED > τ, returning Exceeded=true; the
+	// paper's Strategy 2 notes this "largely reduces running time" and the
+	// HEP framework relies on it. Values ≤ 0 mean unbounded search.
+	Threshold int
+	// MaxExpansions caps the number of search states expanded. 0 means the
+	// default (4,000,000). When the cap is hit the solver returns its best
+	// known upper bound with Exact=false.
+	MaxExpansions int64
+	// DisableRerank turns off Strategy 1 (degree/label/cardinality
+	// re-ranking of the matching order). Ablation hook.
+	DisableRerank bool
+	// DisableUpperBound turns off Strategy 2 (sampled initial upper
+	// bound). Ablation hook.
+	DisableUpperBound bool
+	// DisableLowerBound turns off Strategy 3 (label-based + hyperedge-based
+	// suffix lower bounds). Ablation hook.
+	DisableLowerBound bool
+	// UpperBoundSamples is the number of random mappings sampled for
+	// Strategy 2 in addition to the greedy one. 0 means the default (3).
+	UpperBoundSamples int
+	// Seed drives the deterministic sampling of Strategy 2. 0 means 1.
+	Seed int64
+	// UseHungarianEDC makes HGED-DFS compute the per-node-mapping edit cost
+	// with the O(m³) assignment solver instead of enumerating hyperedge
+	// permutations (Algorithm 2). Both are exact; this is the E10 ablation.
+	UseHungarianEDC bool
+	// Costs selects the edit-operation cost model. Nil means the paper's
+	// unit costs. Invalid models (see CostModel.Validate) panic, as they
+	// are programmer errors.
+	Costs *CostModel
+}
+
+func (o Options) costModel() CostModel {
+	if o.Costs == nil {
+		return UnitCosts()
+	}
+	if err := o.Costs.Validate(); err != nil {
+		panic(err)
+	}
+	return *o.Costs
+}
+
+const defaultMaxExpansions = 4_000_000
+
+func (o Options) maxExpansions() int64 {
+	if o.MaxExpansions <= 0 {
+		return defaultMaxExpansions
+	}
+	return o.MaxExpansions
+}
+
+func (o Options) samples() int {
+	if o.UpperBoundSamples <= 0 {
+		return 3
+	}
+	return o.UpperBoundSamples
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) unbounded() bool { return o.Threshold <= 0 }
+
+// Result reports the outcome of an HGED computation.
+type Result struct {
+	// Distance is the computed edit distance. When Exceeded is true it is
+	// instead a proven lower bound (> τ). When Exact is false it is the
+	// best upper bound found before the expansion budget ran out.
+	Distance int
+	// Path is the edit path realizing Distance, when one was requested and
+	// a complete mapping was found (nil when Exceeded).
+	Path *Path
+	// Exceeded reports that a threshold was set and HGED is provably
+	// greater than it.
+	Exceeded bool
+	// Exact is true when the solver proved optimality (or exceedance);
+	// false when the expansion budget was exhausted first.
+	Exact bool
+	// Expanded counts search states expanded (search effort).
+	Expanded int64
+}

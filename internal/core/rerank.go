@@ -1,0 +1,81 @@
+package core
+
+import "sort"
+
+// rerankNodes returns the order in which source node slots are assigned
+// during search, implementing Strategy 1's intuitions: (i) higher-degree
+// nodes first, (ii) nodes with equal labels grouped together, (iii) nodes
+// before hyperedges (enforced by the caller: all node levels precede edge
+// levels), (iv) higher-cardinality hyperedges first (see rerankEdges).
+// Real slots come first; null (padding) slots last. When disabled, natural
+// order is used.
+func rerankNodes(d *graphData, paddedN int, disable bool) []int {
+	order := make([]int, paddedN)
+	for i := range order {
+		order[i] = i
+	}
+	if disable || d.n == 0 {
+		return order
+	}
+	// Group score per label: the maximum degree among nodes of that label,
+	// so whole label groups are ordered by their strongest member.
+	groupScore := make(map[int32]int)
+	for v := 0; v < d.n; v++ {
+		l := int32(d.nodeLabels[v])
+		if d.degrees[v] > groupScore[l] {
+			groupScore[l] = d.degrees[v]
+		}
+	}
+	real := order[:d.n]
+	sort.SliceStable(real, func(a, b int) bool {
+		va, vb := real[a], real[b]
+		la, lb := int32(d.nodeLabels[va]), int32(d.nodeLabels[vb])
+		if groupScore[la] != groupScore[lb] {
+			return groupScore[la] > groupScore[lb]
+		}
+		if la != lb {
+			return la < lb
+		}
+		if d.degrees[va] != d.degrees[vb] {
+			return d.degrees[va] > d.degrees[vb]
+		}
+		return va < vb
+	})
+	return order
+}
+
+// rerankEdges orders source hyperedge slots: label groups ordered by their
+// largest cardinality, higher-cardinality edges first inside each group.
+// Null slots last.
+func rerankEdges(d *graphData, paddedM int, disable bool) []int {
+	order := make([]int, paddedM)
+	for i := range order {
+		order[i] = i
+	}
+	if disable || d.m == 0 {
+		return order
+	}
+	groupScore := make(map[int32]int)
+	for e := 0; e < d.m; e++ {
+		l := int32(d.edgeLabels[e])
+		if d.cards[e] > groupScore[l] {
+			groupScore[l] = d.cards[e]
+		}
+	}
+	real := order[:d.m]
+	sort.SliceStable(real, func(a, b int) bool {
+		ea, eb := real[a], real[b]
+		la, lb := int32(d.edgeLabels[ea]), int32(d.edgeLabels[eb])
+		if groupScore[la] != groupScore[lb] {
+			return groupScore[la] > groupScore[lb]
+		}
+		if la != lb {
+			return la < lb
+		}
+		if d.cards[ea] != d.cards[eb] {
+			return d.cards[ea] > d.cards[eb]
+		}
+		return ea < eb
+	})
+	return order
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hged/internal/hypergraph"
+)
+
+// jsonOp is the wire form of an edit operation.
+type jsonOp struct {
+	Kind  string           `json:"kind"`
+	Node  *int             `json:"node,omitempty"`
+	Edge  *int             `json:"edge,omitempty"`
+	Label hypergraph.Label `json:"label,omitempty"`
+}
+
+var kindNames = map[OpKind]string{
+	OpNodeDelete:  "node-delete",
+	OpNodeInsert:  "node-insert",
+	OpEdgeDelete:  "edge-delete",
+	OpEdgeInsert:  "edge-insert",
+	OpEdgeReduce:  "edge-reduce",
+	OpEdgeExtend:  "edge-extend",
+	OpNodeRelabel: "node-relabel",
+	OpEdgeRelabel: "edge-relabel",
+}
+
+var kindByName = func() map[string]OpKind {
+	m := make(map[string]OpKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// opUsesNode reports whether the op kind references a node slot.
+func opUsesNode(k OpKind) bool {
+	switch k {
+	case OpNodeDelete, OpNodeInsert, OpNodeRelabel, OpEdgeReduce, OpEdgeExtend:
+		return true
+	}
+	return false
+}
+
+// opUsesEdge reports whether the op kind references an edge slot.
+func opUsesEdge(k OpKind) bool {
+	switch k {
+	case OpEdgeDelete, OpEdgeInsert, OpEdgeRelabel, OpEdgeReduce, OpEdgeExtend:
+		return true
+	}
+	return false
+}
+
+// WritePathJSON serializes an edit path as a JSON array of operations, for
+// consumption by external tools (UIs, notebooks, audit logs).
+func WritePathJSON(w io.Writer, p *Path) error {
+	ops := make([]jsonOp, len(p.Ops))
+	for i, op := range p.Ops {
+		name, ok := kindNames[op.Kind]
+		if !ok {
+			return fmt.Errorf("core: op %d has unknown kind %v", i, op.Kind)
+		}
+		jo := jsonOp{Kind: name, Label: op.Label}
+		if opUsesNode(op.Kind) {
+			n := op.Node
+			jo.Node = &n
+		}
+		if opUsesEdge(op.Kind) {
+			e := op.Edge
+			jo.Edge = &e
+		}
+		ops[i] = jo
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ops)
+}
+
+// ReadPathJSON parses the JSON produced by WritePathJSON. The returned
+// path carries no mapping (only the operations), which is all Apply needs.
+func ReadPathJSON(r io.Reader) (*Path, error) {
+	var ops []jsonOp
+	if err := json.NewDecoder(r).Decode(&ops); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	p := &Path{Ops: make([]Op, len(ops))}
+	for i, jo := range ops {
+		kind, ok := kindByName[jo.Kind]
+		if !ok {
+			return nil, fmt.Errorf("core: op %d has unknown kind %q", i, jo.Kind)
+		}
+		op := Op{Kind: kind, Label: jo.Label}
+		if opUsesNode(kind) {
+			if jo.Node == nil {
+				return nil, fmt.Errorf("core: op %d (%s) missing node", i, jo.Kind)
+			}
+			op.Node = *jo.Node
+		}
+		if opUsesEdge(kind) {
+			if jo.Edge == nil {
+				return nil, fmt.Errorf("core: op %d (%s) missing edge", i, jo.Kind)
+			}
+			op.Edge = *jo.Edge
+		}
+		p.Ops[i] = op
+	}
+	return p, nil
+}

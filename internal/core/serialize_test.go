@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hged/internal/hypergraph"
+)
+
+func TestPathJSONRoundTrip(t *testing.T) {
+	g, h := egoPair()
+	_, path := DistanceWithPath(g, h)
+	var buf bytes.Buffer
+	if err := WritePathJSON(&buf, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPathJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cost() != path.Cost() {
+		t.Fatalf("round trip changed cost: %d vs %d", back.Cost(), path.Cost())
+	}
+	// The deserialized path must still transform the source into the
+	// target.
+	got, err := back.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hypergraph.Isomorphic(got, h) {
+		t.Fatal("deserialized path does not reach the target")
+	}
+}
+
+func TestPathJSONRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 20; trial++ {
+		a := randomHypergraph(rng, 4, 3, 3)
+		b := randomHypergraph(rng, 4, 3, 3)
+		_, path := DistanceWithPath(a, b)
+		var buf bytes.Buffer
+		if err := WritePathJSON(&buf, path); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		back, err := ReadPathJSON(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := back.Apply(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !hypergraph.Isomorphic(got, b) {
+			t.Fatalf("trial %d: path lost through JSON", trial)
+		}
+	}
+}
+
+func TestPathJSONKinds(t *testing.T) {
+	p := &Path{Ops: []Op{
+		{Kind: OpNodeInsert, Node: 2, Label: 7},
+		{Kind: OpEdgeExtend, Edge: 1, Node: 2},
+		{Kind: OpEdgeRelabel, Edge: 1, Label: 9},
+	}}
+	var buf bytes.Buffer
+	if err := WritePathJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"node-insert", "edge-extend", "edge-relabel"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in %s", want, s)
+		}
+	}
+	back, err := ReadPathJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ops[0] != p.Ops[0] || back.Ops[1] != p.Ops[1] || back.Ops[2] != p.Ops[2] {
+		t.Fatalf("ops changed: %v vs %v", back.Ops, p.Ops)
+	}
+}
+
+func TestPathJSONErrors(t *testing.T) {
+	if _, err := ReadPathJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON must fail")
+	}
+	if _, err := ReadPathJSON(strings.NewReader(`[{"kind":"teleport"}]`)); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	if _, err := ReadPathJSON(strings.NewReader(`[{"kind":"node-delete"}]`)); err == nil {
+		t.Fatal("missing node field must fail")
+	}
+	if _, err := ReadPathJSON(strings.NewReader(`[{"kind":"edge-delete"}]`)); err == nil {
+		t.Fatal("missing edge field must fail")
+	}
+	bad := &Path{Ops: []Op{{Kind: OpKind(99)}}}
+	var buf bytes.Buffer
+	if err := WritePathJSON(&buf, bad); err == nil {
+		t.Fatal("unknown kind must fail to serialize")
+	}
+}

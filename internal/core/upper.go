@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// upperBound implements Strategy 2: it evaluates the exact edit cost of a
+// small set of heuristically constructed complete mappings — one greedy
+// label/degree-aligned mapping plus a few seeded random samples — and
+// returns the cheapest mapping found. Every candidate is a complete valid
+// mapping, so the returned cost is a sound upper bound on HGED.
+func (p *pair) upperBound(samples int, seed int64) (int, *Mapping) {
+	best := p.greedyMapping()
+	bestCost := p.totalCost(best)
+
+	rng := rand.New(rand.NewSource(seed))
+	N, M := p.paddedN, p.paddedM
+	for s := 0; s < samples; s++ {
+		mp := &Mapping{
+			SrcN: p.src.n, TgtN: p.tgt.n,
+			SrcM: p.src.m, TgtM: p.tgt.m,
+			NodeMap: rng.Perm(N),
+			EdgeMap: rng.Perm(M),
+		}
+		if c := p.totalCost(mp); c < bestCost {
+			bestCost, best = c, mp
+		}
+	}
+	return bestCost, best
+}
+
+// greedyMapping pairs source and target nodes sorted by (label, degree) and
+// hyperedges sorted by (label, cardinality), sending the overhang to null
+// slots — the "simply ranked matching order" the paper observes is often
+// close to optimal.
+func (p *pair) greedyMapping() *Mapping {
+	N, M := p.paddedN, p.paddedM
+	srcNodes := sortedSlots(p.src.n, func(a, b int) bool {
+		if p.src.nodeLabels[a] != p.src.nodeLabels[b] {
+			return p.src.nodeLabels[a] < p.src.nodeLabels[b]
+		}
+		if p.src.degrees[a] != p.src.degrees[b] {
+			return p.src.degrees[a] > p.src.degrees[b]
+		}
+		return a < b
+	})
+	tgtNodes := sortedSlots(p.tgt.n, func(a, b int) bool {
+		if p.tgt.nodeLabels[a] != p.tgt.nodeLabels[b] {
+			return p.tgt.nodeLabels[a] < p.tgt.nodeLabels[b]
+		}
+		if p.tgt.degrees[a] != p.tgt.degrees[b] {
+			return p.tgt.degrees[a] > p.tgt.degrees[b]
+		}
+		return a < b
+	})
+	srcEdges := sortedSlots(p.src.m, func(a, b int) bool {
+		if p.src.edgeLabels[a] != p.src.edgeLabels[b] {
+			return p.src.edgeLabels[a] < p.src.edgeLabels[b]
+		}
+		if p.src.cards[a] != p.src.cards[b] {
+			return p.src.cards[a] > p.src.cards[b]
+		}
+		return a < b
+	})
+	tgtEdges := sortedSlots(p.tgt.m, func(a, b int) bool {
+		if p.tgt.edgeLabels[a] != p.tgt.edgeLabels[b] {
+			return p.tgt.edgeLabels[a] < p.tgt.edgeLabels[b]
+		}
+		if p.tgt.cards[a] != p.tgt.cards[b] {
+			return p.tgt.cards[a] > p.tgt.cards[b]
+		}
+		return a < b
+	})
+	mp := &Mapping{
+		SrcN: p.src.n, TgtN: p.tgt.n,
+		SrcM: p.src.m, TgtM: p.tgt.m,
+		NodeMap: alignLists(srcNodes, tgtNodes, N),
+		EdgeMap: alignLists(srcEdges, tgtEdges, M),
+	}
+	return mp
+}
+
+func sortedSlots(n int, less func(a, b int) bool) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	sort.Slice(s, func(a, b int) bool { return less(s[a], s[b]) })
+	return s
+}
+
+// alignLists pairs the i-th source slot with the i-th target slot, padding
+// the shorter side with null slots (ids ≥ its real count), and returns the
+// source→target permutation over 0..padded-1.
+func alignLists(src, tgt []int, padded int) []int {
+	perm := make([]int, padded)
+	for i := range perm {
+		perm[i] = -1
+	}
+	usedTgt := make([]bool, padded)
+	k := len(src)
+	if len(tgt) < k {
+		k = len(tgt)
+	}
+	for i := 0; i < k; i++ {
+		perm[src[i]] = tgt[i]
+		usedTgt[tgt[i]] = true
+	}
+	// Remaining source slots (real overhang + nulls) take the unused target
+	// slots in order.
+	next := 0
+	for i := 0; i < padded; i++ {
+		if perm[i] != -1 {
+			continue
+		}
+		for usedTgt[next] {
+			next++
+		}
+		perm[i] = next
+		usedTgt[next] = true
+	}
+	return perm
+}

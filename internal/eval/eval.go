@@ -1,0 +1,192 @@
+// Package eval implements the paper's "Goodness metrics": predicted
+// hyperedges are compared against a held-out validation set and scored by
+// Precision, Recall and F1 (Section VI), with a greedy best-overlap
+// matching between predictions and held-out hyperedges.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"hged/internal/hypergraph"
+)
+
+// PRF bundles Precision, Recall and F1.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// String renders "P=0.80 R=0.45 F1=0.58".
+func (p PRF) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f", p.Precision, p.Recall, p.F1)
+}
+
+// MatchMode selects the true-positive criterion.
+type MatchMode int
+
+const (
+	// MatchOverlap (the default) matches a prediction to a held-out
+	// hyperedge when their Jaccard overlap reaches MinOverlap.
+	MatchOverlap MatchMode = iota
+	// MatchContainment matches when the held-out hyperedge's nodes are a
+	// subset of the prediction — the criterion of the paper's case study
+	// ("the predicted hyperedge contains the future collaboration"),
+	// appropriate when predictions are groups and held-out hyperedges are
+	// their sub-interactions.
+	MatchContainment
+)
+
+// MatchOptions controls how a prediction counts as a true positive.
+type MatchOptions struct {
+	// Mode selects overlap (default) or containment matching.
+	Mode MatchMode
+	// MinOverlap is the Jaccard overlap a prediction must reach against a
+	// held-out hyperedge to match it in MatchOverlap mode (default 0.75).
+	// 1.0 demands identical node sets.
+	MinOverlap float64
+	// Exact forces identical-node-set matching regardless of MinOverlap.
+	Exact bool
+}
+
+func (o MatchOptions) normalize() MatchOptions {
+	if o.MinOverlap == 0 {
+		o.MinOverlap = 0.75
+	}
+	if o.Exact {
+		o.Mode = MatchOverlap
+		o.MinOverlap = 1
+	}
+	return o
+}
+
+// MatchStats details the matching behind a PRF.
+type MatchStats struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	// Matches pairs prediction index → held-out index.
+	Matches map[int]int
+}
+
+// Evaluate scores predictions against held-out hyperedges. Matching is
+// greedy by decreasing overlap; each prediction and each held-out hyperedge
+// participates in at most one match.
+func Evaluate(preds [][]hypergraph.NodeID, held []hypergraph.Hyperedge, opts MatchOptions) (PRF, MatchStats) {
+	o := opts.normalize()
+	type cand struct {
+		pred, held int
+		overlap    float64
+	}
+	heldSets := make([]map[hypergraph.NodeID]struct{}, len(held))
+	for i, e := range held {
+		s := make(map[hypergraph.NodeID]struct{}, len(e.Nodes))
+		for _, v := range e.Nodes {
+			s[v] = struct{}{}
+		}
+		heldSets[i] = s
+	}
+	var cands []cand
+	for pi, p := range preds {
+		for hi := range held {
+			switch o.Mode {
+			case MatchContainment:
+				if len(heldSets[hi]) > 0 && containsSet(p, heldSets[hi]) {
+					// Prefer tight containments when several predictions
+					// cover the same held-out hyperedge.
+					cands = append(cands, cand{pi, hi, float64(len(heldSets[hi])) / float64(len(p)+1)})
+				}
+			default:
+				ov := jaccardSets(p, heldSets[hi])
+				if ov >= o.MinOverlap {
+					cands = append(cands, cand{pi, hi, ov})
+				}
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].overlap != cands[j].overlap {
+			return cands[i].overlap > cands[j].overlap
+		}
+		if cands[i].pred != cands[j].pred {
+			return cands[i].pred < cands[j].pred
+		}
+		return cands[i].held < cands[j].held
+	})
+	usedPred := make([]bool, len(preds))
+	usedHeld := make([]bool, len(held))
+	stats := MatchStats{Matches: make(map[int]int)}
+	for _, c := range cands {
+		if usedPred[c.pred] || usedHeld[c.held] {
+			continue
+		}
+		usedPred[c.pred] = true
+		usedHeld[c.held] = true
+		stats.Matches[c.pred] = c.held
+		stats.TruePositives++
+	}
+	stats.FalsePositives = len(preds) - stats.TruePositives
+	stats.FalseNegatives = len(held) - stats.TruePositives
+
+	var prf PRF
+	if len(preds) > 0 {
+		prf.Precision = float64(stats.TruePositives) / float64(len(preds))
+	}
+	if len(held) > 0 {
+		prf.Recall = float64(stats.TruePositives) / float64(len(held))
+	}
+	if prf.Precision+prf.Recall > 0 {
+		prf.F1 = 2 * prf.Precision * prf.Recall / (prf.Precision + prf.Recall)
+	}
+	return prf, stats
+}
+
+// PrecisionAtK evaluates a ranked prediction list: for each k in ks it
+// returns the precision of the top-k predictions against the held-out set
+// (each held-out hyperedge matched at most once, greedily inside the
+// prefix). ks beyond the list length use the whole list.
+func PrecisionAtK(ranked [][]hypergraph.NodeID, held []hypergraph.Hyperedge, opts MatchOptions, ks []int) []float64 {
+	out := make([]float64, len(ks))
+	for i, k := range ks {
+		if k > len(ranked) {
+			k = len(ranked)
+		}
+		if k <= 0 {
+			continue
+		}
+		prf, _ := Evaluate(ranked[:k], held, opts)
+		out[i] = prf.Precision
+	}
+	return out
+}
+
+func containsSet(a []hypergraph.NodeID, b map[hypergraph.NodeID]struct{}) bool {
+	if len(b) > len(a) {
+		return false
+	}
+	found := 0
+	for _, v := range a {
+		if _, ok := b[v]; ok {
+			found++
+		}
+	}
+	return found == len(b)
+}
+
+func jaccardSets(a []hypergraph.NodeID, b map[hypergraph.NodeID]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for _, v := range a {
+		if _, ok := b[v]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,172 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"hged/internal/hypergraph"
+)
+
+func he(nodes ...hypergraph.NodeID) hypergraph.Hyperedge {
+	return hypergraph.Hyperedge{Nodes: nodes}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEvaluatePerfect(t *testing.T) {
+	preds := [][]hypergraph.NodeID{{0, 1, 2}, {3, 4, 5}}
+	held := []hypergraph.Hyperedge{he(0, 1, 2), he(3, 4, 5)}
+	prf, st := Evaluate(preds, held, MatchOptions{})
+	if prf.Precision != 1 || prf.Recall != 1 || prf.F1 != 1 {
+		t.Fatalf("perfect case: %v", prf)
+	}
+	if st.TruePositives != 2 || st.FalsePositives != 0 || st.FalseNegatives != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestEvaluatePartialOverlap(t *testing.T) {
+	// {0,1,2,3} vs held {1,2,3}: Jaccard 3/4 = 0.75 → matches at default.
+	preds := [][]hypergraph.NodeID{{0, 1, 2, 3}}
+	held := []hypergraph.Hyperedge{he(1, 2, 3)}
+	prf, _ := Evaluate(preds, held, MatchOptions{})
+	if prf.Precision != 1 || prf.Recall != 1 {
+		t.Fatalf("0.75 overlap should match: %v", prf)
+	}
+	// With Exact the same pair must not match.
+	prf, _ = Evaluate(preds, held, MatchOptions{Exact: true})
+	if prf.Precision != 0 || prf.Recall != 0 || prf.F1 != 0 {
+		t.Fatalf("exact mode should reject: %v", prf)
+	}
+	// Raising MinOverlap above 0.75 rejects too.
+	prf, _ = Evaluate(preds, held, MatchOptions{MinOverlap: 0.8})
+	if prf.Precision != 0 {
+		t.Fatalf("0.8 threshold should reject 0.75 overlap: %v", prf)
+	}
+}
+
+func TestEvaluateGreedyPrefersBestOverlap(t *testing.T) {
+	// Prediction 0 matches held 0 exactly; prediction 1 overlaps held 0 at
+	// 0.75 only. Greedy must give held 0 to prediction 0.
+	preds := [][]hypergraph.NodeID{{0, 1, 2}, {0, 1, 2, 3}}
+	held := []hypergraph.Hyperedge{he(0, 1, 2)}
+	prf, st := Evaluate(preds, held, MatchOptions{})
+	if st.Matches[0] != 0 {
+		t.Fatalf("matches: %v", st.Matches)
+	}
+	if _, dup := st.Matches[1]; dup {
+		t.Fatal("held-out hyperedge matched twice")
+	}
+	if !almost(prf.Precision, 0.5) || !almost(prf.Recall, 1) {
+		t.Fatalf("prf: %v", prf)
+	}
+}
+
+func TestEvaluateEachPredictionMatchesOnce(t *testing.T) {
+	preds := [][]hypergraph.NodeID{{0, 1, 2}}
+	held := []hypergraph.Hyperedge{he(0, 1, 2), he(0, 1, 2)}
+	prf, st := Evaluate(preds, held, MatchOptions{})
+	if st.TruePositives != 1 || st.FalseNegatives != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if !almost(prf.Recall, 0.5) {
+		t.Fatalf("recall = %v", prf.Recall)
+	}
+}
+
+func TestEvaluateEmptyInputs(t *testing.T) {
+	prf, st := Evaluate(nil, nil, MatchOptions{})
+	if prf.Precision != 0 || prf.Recall != 0 || prf.F1 != 0 {
+		t.Fatalf("empty: %v", prf)
+	}
+	if st.TruePositives != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	prf, _ = Evaluate(nil, []hypergraph.Hyperedge{he(1, 2)}, MatchOptions{})
+	if prf.Recall != 0 {
+		t.Fatal("no predictions → zero recall")
+	}
+	prf, _ = Evaluate([][]hypergraph.NodeID{{1, 2}}, nil, MatchOptions{})
+	if prf.Precision != 0 {
+		t.Fatal("no held-out → zero precision")
+	}
+}
+
+func TestPRFString(t *testing.T) {
+	s := PRF{Precision: 0.5, Recall: 0.25, F1: 1.0 / 3}.String()
+	if s != "P=0.500 R=0.250 F1=0.333" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEvaluateContainmentMode(t *testing.T) {
+	// Predictions are groups; held-out hyperedges are their
+	// sub-interactions.
+	preds := [][]hypergraph.NodeID{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9}}
+	held := []hypergraph.Hyperedge{he(1, 2, 3), he(4, 6), he(0, 9)}
+	prf, st := Evaluate(preds, held, MatchOptions{Mode: MatchContainment})
+	// {1,2,3} ⊆ pred0 and {4,6} ⊆ pred1; {0,9} is in no prediction.
+	if st.TruePositives != 2 {
+		t.Fatalf("TP = %d, want 2", st.TruePositives)
+	}
+	if !almost(prf.Precision, 2.0/3) || !almost(prf.Recall, 2.0/3) {
+		t.Fatalf("prf = %v", prf)
+	}
+}
+
+func TestEvaluateContainmentPrefersTightest(t *testing.T) {
+	// Both predictions contain the held-out pair; the tighter one should
+	// take the match so looser groups stay available for other hyperedges.
+	preds := [][]hypergraph.NodeID{{0, 1, 2, 3, 4, 5}, {0, 1}}
+	held := []hypergraph.Hyperedge{he(0, 1)}
+	_, st := Evaluate(preds, held, MatchOptions{Mode: MatchContainment})
+	if st.Matches[1] != 0 {
+		t.Fatalf("matches = %v, want tight prediction 1", st.Matches)
+	}
+}
+
+func TestEvaluateContainmentOneToOne(t *testing.T) {
+	// One group containing two held-out hyperedges still matches only one.
+	preds := [][]hypergraph.NodeID{{0, 1, 2, 3}}
+	held := []hypergraph.Hyperedge{he(0, 1), he(2, 3)}
+	prf, st := Evaluate(preds, held, MatchOptions{Mode: MatchContainment})
+	if st.TruePositives != 1 || !almost(prf.Recall, 0.5) {
+		t.Fatalf("stats %+v prf %v", st, prf)
+	}
+}
+
+func TestEvaluateContainmentEmptyHeldSet(t *testing.T) {
+	preds := [][]hypergraph.NodeID{{0, 1}}
+	held := []hypergraph.Hyperedge{{}}
+	_, st := Evaluate(preds, held, MatchOptions{Mode: MatchContainment})
+	if st.TruePositives != 0 {
+		t.Fatal("empty held-out hyperedge must not match")
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	ranked := [][]hypergraph.NodeID{
+		{0, 1, 2}, // matches
+		{3, 4, 5}, // matches
+		{9, 10},   // miss
+		{6, 7, 8}, // matches
+	}
+	held := []hypergraph.Hyperedge{he(0, 1, 2), he(3, 4, 5), he(6, 7, 8)}
+	got := PrecisionAtK(ranked, held, MatchOptions{}, []int{1, 2, 3, 4, 10, 0})
+	want := []float64{1, 1, 2.0 / 3, 3.0 / 4, 3.0 / 4, 0}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Fatalf("P@%d: got %v want %v (all %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestEvaluateF1Harmonic(t *testing.T) {
+	preds := [][]hypergraph.NodeID{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+	held := []hypergraph.Hyperedge{he(0, 1), he(8, 9)}
+	prf, _ := Evaluate(preds, held, MatchOptions{})
+	// P = 1/4, R = 1/2 → F1 = 2·(1/4·1/2)/(3/4) = 1/3.
+	if !almost(prf.F1, 1.0/3) {
+		t.Fatalf("F1 = %v, want 1/3", prf.F1)
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hged/internal/core"
+	"hged/internal/gen"
+)
+
+// AblationRow reports HGED-BFS search effort with one pruning strategy
+// disabled (E9 in DESIGN.md): total expansions and wall time over a pair
+// sample, against the all-strategies baseline.
+type AblationRow struct {
+	Variant  string
+	Expanded int64
+	Elapsed  time.Duration
+}
+
+// AblationStrategies measures the contribution of Strategies 1–3 on pairs
+// sampled from the given dataset replica (default: HS).
+func AblationStrategies(cfg Config) ([]AblationRow, error) {
+	c := cfg.normalize()
+	specs := c.specs()
+	g, err := c.replica(specs[0])
+	if err != nil {
+		return nil, err
+	}
+	pairs := samplePairs(g, c.Pairs, c.Seed)
+	egos := egoCache(g, pairs)
+
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"all strategies", core.Options{}},
+		{"no rerank (S1 off)", core.Options{DisableRerank: true}},
+		{"no upper bound (S2 off)", core.Options{DisableUpperBound: true}},
+		{"no lower bound (S3 off)", core.Options{DisableLowerBound: true}},
+		{"none", core.Options{DisableRerank: true, DisableUpperBound: true, DisableLowerBound: true}},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		opts := v.opts
+		opts.Threshold = 10
+		opts.MaxExpansions = c.MaxExpansions
+		row := AblationRow{Variant: v.name}
+		start := time.Now()
+		for _, p := range pairs {
+			res := core.BFS(egos[p.u], egos[p.v], opts)
+			row.Expanded += res.Expanded
+		}
+		row.Elapsed = time.Since(start)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderAblation formats strategy-ablation rows.
+func RenderAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %14s %14s\n", "variant", "expansions", "time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %14d %14s\n", r.Variant, r.Expanded, r.Elapsed)
+	}
+	return b.String()
+}
+
+// EDCRow compares Algorithm 2's hyperedge-permutation enumeration against
+// the Hungarian-assignment computation of the same exact edit cost (E10).
+type EDCRow struct {
+	Edges       int // hyperedges per side
+	Permutation time.Duration
+	Hungarian   time.Duration
+	Agreements  int
+	Trials      int
+}
+
+// AblationEDC times EDCPermutation vs EDCAssignment on random hypergraph
+// pairs with growing hyperedge counts, verifying they agree.
+func AblationEDC(cfg Config, edgeCounts []int) ([]EDCRow, error) {
+	c := cfg.normalize()
+	var rows []EDCRow
+	const trials = 20
+	for _, m := range edgeCounts {
+		row := EDCRow{Edges: m, Trials: trials}
+		for t := 0; t < trials; t++ {
+			seed := c.Seed + int64(1000*m+t)
+			a := gen.Uniform(10, m, 4, 3, 2, seed)
+			b := gen.Uniform(10, m, 4, 3, 2, seed+500)
+			nodeMap := identityMap(maxInt(a.NumNodes(), b.NumNodes()))
+
+			start := time.Now()
+			p := core.EDCPermutation(a, b, nodeMap)
+			row.Permutation += time.Since(start)
+
+			start = time.Now()
+			h := core.EDCAssignment(a, b, nodeMap)
+			row.Hungarian += time.Since(start)
+
+			if p == h {
+				row.Agreements++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func identityMap(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderEDC formats EDC-ablation rows.
+func RenderEDC(rows []EDCRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %16s %16s %10s\n", "edges", "permutation", "hungarian", "agree")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %16s %16s %6d/%d\n", r.Edges, r.Permutation, r.Hungarian, r.Agreements, r.Trials)
+	}
+	return b.String()
+}

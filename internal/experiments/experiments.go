@@ -1,0 +1,611 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI) on the synthetic dataset replicas: Table I
+// (dataset statistics), Fig. 8 (effectiveness of HEP vs JS vs LGR), Fig. 9
+// (effectiveness under varying λ and τ), Fig. 10 (the DBLP case study),
+// Table II (HGED computation runtimes), Table III (HEP-DFS vs HEP-BFS vs
+// LGR runtimes), Fig. 11 (runtime under varying λ and τ), Fig. 12
+// (scalability), plus the repository's two ablations (search strategies and
+// EDC permutation-vs-Hungarian).
+//
+// Functions return typed rows so both cmd/experiments and the root
+// bench_test.go can drive them; Render* helpers produce aligned text.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"hged/internal/baseline"
+	"hged/internal/core"
+	"hged/internal/dataset"
+	"hged/internal/eval"
+	"hged/internal/gen"
+	"hged/internal/hypergraph"
+	"hged/internal/predict"
+)
+
+// Config tunes how heavy the experiment runs are. The zero value selects
+// the registry's default replica scales, seed 1, and the paper's default
+// parameters (λ=3, τ=5, 3:1 split).
+type Config struct {
+	// Scale multiplies each dataset's default replica scale (1.0 = the
+	// registry defaults; benches use smaller values).
+	Scale float64
+	// Datasets restricts runs to these names (nil = all six).
+	Datasets []string
+	// Seed drives splits and pair sampling.
+	Seed int64
+	// Pairs is the number of node pairs for Table II (default 200;
+	// the paper uses 1000).
+	Pairs int
+	// Lambda, Tau are HEP's parameters (defaults 3 and 5).
+	Lambda, Tau int
+	// TrainFrac is the training fraction of the split (default 0.75, the
+	// paper's 3:1).
+	TrainFrac float64
+	// MaxExpansions caps each individual HGED search (default 10,000).
+	MaxExpansions int64
+	// DFSBudgetFactor scales the step budget handed to HGED-DFS and
+	// HGED-HEU relative to MaxExpansions (default 25): a DFS/HEU
+	// recursion step costs roughly 1/25 of a BFS expansion, so equal-CPU
+	// comparisons need unequal step budgets.
+	DFSBudgetFactor int64
+	// Progress, when non-nil, receives coarse progress messages (dataset
+	// started, phase finished) so long runs are observable.
+	Progress func(format string, args ...interface{})
+}
+
+func (c Config) progress(format string, args ...interface{}) {
+	if c.Progress != nil {
+		c.Progress(format, args...)
+	}
+}
+
+func (c Config) normalize() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Pairs == 0 {
+		c.Pairs = 200
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 3
+	}
+	if c.Tau == 0 {
+		c.Tau = 5
+	}
+	if c.TrainFrac == 0 {
+		c.TrainFrac = 0.75
+	}
+	if c.MaxExpansions == 0 {
+		c.MaxExpansions = 10_000
+	}
+	if c.DFSBudgetFactor == 0 {
+		c.DFSBudgetFactor = 25
+	}
+	return c
+}
+
+func (c Config) specs() []dataset.Spec {
+	if len(c.Datasets) == 0 {
+		return dataset.Registry
+	}
+	var out []dataset.Spec
+	for _, name := range c.Datasets {
+		if s, err := dataset.Lookup(name); err == nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (c Config) replica(s dataset.Spec) (*hypergraph.Hypergraph, error) {
+	return s.Replica(s.DefaultScale * c.Scale)
+}
+
+// ---------------------------------------------------------------- Table I
+
+// Table1Row pairs a dataset's paper statistics with its replica's.
+type Table1Row struct {
+	Spec    dataset.Spec
+	Replica hypergraph.Stats
+}
+
+// Table1 regenerates Table I: the statistics of every dataset replica next
+// to the paper's numbers.
+func Table1(cfg Config) ([]Table1Row, error) {
+	c := cfg.normalize()
+	var rows []Table1Row
+	for _, s := range c.specs() {
+		g, err := c.replica(s)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", s.Name, err)
+		}
+		rows = append(rows, Table1Row{Spec: s, Replica: hypergraph.Summarize(g)})
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats Table1 rows.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %10s %10s %7s %5s %7s   %s\n",
+		"data", "paper n", "paper m", "mean|E|", "med", "|l(V)|", "replica")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %10d %10d %7.1f %5d %7d   n=%d m=%d mean=%.1f med=%d labels=%d\n",
+			r.Spec.Name, r.Spec.PaperNodes, r.Spec.PaperEdges, r.Spec.PaperMean,
+			r.Spec.PaperMedian, r.Spec.PaperLabels,
+			r.Replica.Nodes, r.Replica.Edges, r.Replica.MeanEdgeSize,
+			r.Replica.MedianEdgeSize, r.Replica.NodeLabels)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Fig. 8
+
+// Fig8Row holds the effectiveness of the three methods on one dataset.
+type Fig8Row struct {
+	Dataset      string
+	HEP, JS, LGR eval.PRF
+	HeldOut      int
+	PredHEP      int
+	PredJS       int
+	PredLGR      int
+}
+
+// Fig8 regenerates Fig. 8: Precision/Recall/F1 of HEP (λ=3, τ=5), JS (λ=3,
+// minimum similarity 0.8) and LGR (order 3, 6 features) on each dataset
+// under the 3:1 split.
+func Fig8(cfg Config) ([]Fig8Row, error) {
+	c := cfg.normalize()
+	var rows []Fig8Row
+	for _, s := range c.specs() {
+		c.progress("fig8: %s", s.Name)
+		g, err := c.replica(s)
+		if err != nil {
+			return nil, err
+		}
+		row, err := fig8One(c, s.Name, g)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func fig8One(c Config, name string, g *hypergraph.Hypergraph) (Fig8Row, error) {
+	train, held, err := dataset.Split(g, c.TrainFrac, c.Seed)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row := Fig8Row{Dataset: name, HeldOut: len(held)}
+
+	hep, err := predict.New(train, predict.Options{
+		Lambda: c.Lambda, Tau: c.Tau, MaxExpansions: c.MaxExpansions,
+	})
+	if err != nil {
+		return row, err
+	}
+	c.progress("fig8: %s HEP", name)
+	hepPreds := predictionNodeSets(hep.Run())
+	row.PredHEP = len(hepPreds)
+	row.HEP, _ = eval.Evaluate(hepPreds, held, eval.MatchOptions{Mode: eval.MatchContainment})
+
+	js, err := baseline.NewJS(train, baseline.JSOptions{Lambda: c.Lambda, MinSim: 0.8})
+	if err != nil {
+		return row, err
+	}
+	c.progress("fig8: %s JS", name)
+	jsPreds := predictionNodeSets(js.Run())
+	row.PredJS = len(jsPreds)
+	row.JS, _ = eval.Evaluate(jsPreds, held, eval.MatchOptions{Mode: eval.MatchContainment})
+
+	lgr, err := baseline.NewLGR(train, baseline.LGROptions{Seed: c.Seed})
+	if err != nil {
+		// Degenerate splits may leave no trainable hyperedges; report
+		// zero scores rather than failing the whole figure.
+		return row, nil
+	}
+	c.progress("fig8: %s LGR", name)
+	lgrPreds := predictionNodeSets(lgr.Predict())
+	row.PredLGR = len(lgrPreds)
+	row.LGR, _ = eval.Evaluate(lgrPreds, held, eval.MatchOptions{Mode: eval.MatchContainment})
+	return row, nil
+}
+
+func predictionNodeSets(preds []predict.Prediction) [][]hypergraph.NodeID {
+	out := make([][]hypergraph.NodeID, len(preds))
+	for i, p := range preds {
+		out[i] = p.Nodes
+	}
+	return out
+}
+
+// RenderFig8 formats Fig8 rows as three sub-tables (a) precision,
+// (b) recall, (c) F1 — matching the figure's panels.
+func RenderFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s | %-7s %-7s %-7s | %-7s %-7s %-7s | %-7s %-7s %-7s\n",
+		"data", "P(HEP)", "P(JS)", "P(LGR)", "R(HEP)", "R(JS)", "R(LGR)", "F(HEP)", "F(JS)", "F(LGR)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s | %-7.3f %-7.3f %-7.3f | %-7.3f %-7.3f %-7.3f | %-7.3f %-7.3f %-7.3f\n",
+			r.Dataset,
+			r.HEP.Precision, r.JS.Precision, r.LGR.Precision,
+			r.HEP.Recall, r.JS.Recall, r.LGR.Recall,
+			r.HEP.F1, r.JS.F1, r.LGR.F1)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Fig. 9
+
+// Fig9Point is one sweep point: effectiveness of HEP at a (λ, τ) setting.
+type Fig9Point struct {
+	Dataset     string
+	Lambda, Tau int
+	PRF         eval.PRF
+}
+
+// Fig9 regenerates Fig. 9 for the given datasets: HEP effectiveness with λ
+// varying over lambdas (τ fixed at cfg.Tau) and τ varying over taus (λ
+// fixed at cfg.Lambda). The paper sweeps λ ∈ [2,9] and τ ∈ [3,10].
+func Fig9(cfg Config, lambdas, taus []int) (lambdaSweep, tauSweep []Fig9Point, err error) {
+	c := cfg.normalize()
+	for _, s := range c.specs() {
+		g, err := c.replica(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		train, held, err := dataset.Split(g, c.TrainFrac, c.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, l := range lambdas {
+			c.progress("fig9: %s λ=%d", s.Name, l)
+			prf, err := hepPRF(c, train, held, l, c.Tau)
+			if err != nil {
+				return nil, nil, err
+			}
+			lambdaSweep = append(lambdaSweep, Fig9Point{s.Name, l, c.Tau, prf})
+		}
+		for _, tau := range taus {
+			c.progress("fig9: %s τ=%d", s.Name, tau)
+			prf, err := hepPRF(c, train, held, c.Lambda, tau)
+			if err != nil {
+				return nil, nil, err
+			}
+			tauSweep = append(tauSweep, Fig9Point{s.Name, c.Lambda, tau, prf})
+		}
+	}
+	return lambdaSweep, tauSweep, nil
+}
+
+func hepPRF(c Config, train *hypergraph.Hypergraph, held []hypergraph.Hyperedge, lambda, tau int) (eval.PRF, error) {
+	p, err := predict.New(train, predict.Options{
+		Lambda: lambda, Tau: tau, MaxExpansions: c.MaxExpansions,
+	})
+	if err != nil {
+		return eval.PRF{}, err
+	}
+	prf, _ := eval.Evaluate(predictionNodeSets(p.Run()), held, eval.MatchOptions{Mode: eval.MatchContainment})
+	return prf, nil
+}
+
+// RenderFig9 formats the two sweeps.
+func RenderFig9(lambdaSweep, tauSweep []Fig9Point) string {
+	var b strings.Builder
+	b.WriteString("varying λ (τ fixed):\n")
+	for _, p := range lambdaSweep {
+		fmt.Fprintf(&b, "  %-5s λ=%d τ=%d  %s\n", p.Dataset, p.Lambda, p.Tau, p.PRF)
+	}
+	b.WriteString("varying τ (λ fixed):\n")
+	for _, p := range tauSweep {
+		fmt.Fprintf(&b, "  %-5s λ=%d τ=%d  %s\n", p.Dataset, p.Lambda, p.Tau, p.PRF)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table II
+
+// Table2Row reports the average per-pair runtime of the three HGED solvers
+// on one dataset.
+type Table2Row struct {
+	Dataset string
+	Pairs   int
+	HEU     time.Duration // average per pair
+	DFS     time.Duration
+	BFS     time.Duration
+}
+
+// Table2 regenerates Table II: each solver computes σ for the same sampled
+// node pairs with the paper's τ=10 verification cap; per-pair averages are
+// reported.
+func Table2(cfg Config) ([]Table2Row, error) {
+	c := cfg.normalize()
+	const tau = 10 // "we can set the upper bound HGED to be 10" (§VI)
+	var rows []Table2Row
+	for _, s := range c.specs() {
+		g, err := c.replica(s)
+		if err != nil {
+			return nil, err
+		}
+		c.progress("table2: %s", s.Name)
+		row := Table2Row{Dataset: s.Name, Pairs: c.Pairs}
+		pairs := samplePairs(g, c.Pairs, c.Seed)
+		egos := egoCache(g, pairs)
+		bfsOpts := core.Options{Threshold: tau, MaxExpansions: c.MaxExpansions}
+		enumOpts := core.Options{Threshold: tau, MaxExpansions: c.MaxExpansions * c.DFSBudgetFactor}
+
+		row.HEU = timeSolver(pairs, egos, func(a, b *hypergraph.Hypergraph) { core.HEU(a, b, enumOpts) })
+		row.DFS = timeSolver(pairs, egos, func(a, b *hypergraph.Hypergraph) { core.DFS(a, b, enumOpts) })
+		row.BFS = timeSolver(pairs, egos, func(a, b *hypergraph.Hypergraph) { core.BFS(a, b, bfsOpts) })
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+type nodePair struct{ u, v hypergraph.NodeID }
+
+func samplePairs(g *hypergraph.Hypergraph, k int, seed int64) []nodePair {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	pairs := make([]nodePair, 0, k)
+	for len(pairs) < k && n >= 2 {
+		u := hypergraph.NodeID(rng.Intn(n))
+		v := hypergraph.NodeID(rng.Intn(n))
+		if u != v {
+			pairs = append(pairs, nodePair{u, v})
+		}
+	}
+	return pairs
+}
+
+func egoCache(g *hypergraph.Hypergraph, pairs []nodePair) map[hypergraph.NodeID]*hypergraph.Hypergraph {
+	egos := make(map[hypergraph.NodeID]*hypergraph.Hypergraph)
+	for _, p := range pairs {
+		for _, v := range []hypergraph.NodeID{p.u, p.v} {
+			if _, ok := egos[v]; !ok {
+				egos[v] = g.Ego(v)
+			}
+		}
+	}
+	return egos
+}
+
+func timeSolver(pairs []nodePair, egos map[hypergraph.NodeID]*hypergraph.Hypergraph, run func(a, b *hypergraph.Hypergraph)) time.Duration {
+	if len(pairs) == 0 {
+		return 0
+	}
+	start := time.Now()
+	for _, p := range pairs {
+		run(egos[p.u], egos[p.v])
+	}
+	return time.Since(start) / time.Duration(len(pairs))
+}
+
+// RenderTable2 formats Table2 rows.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %8s %14s %14s %14s\n", "data", "pairs", "HGED-HEU", "HGED-DFS", "HGED-BFS")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %8d %14s %14s %14s\n", r.Dataset, r.Pairs, r.HEU, r.DFS, r.BFS)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table III
+
+// Table3Row reports full prediction runtimes on one dataset.
+type Table3Row struct {
+	Dataset string
+	HEPDFS  time.Duration
+	HEPBFS  time.Duration
+	LGR     time.Duration
+}
+
+// Table3 regenerates Table III: wall-clock time of a full HEP-DFS, HEP-BFS,
+// and LGR prediction run (λ=3, τ=5) per dataset.
+func Table3(cfg Config) ([]Table3Row, error) {
+	c := cfg.normalize()
+	var rows []Table3Row
+	for _, s := range c.specs() {
+		g, err := c.replica(s)
+		if err != nil {
+			return nil, err
+		}
+		train, _, err := dataset.Split(g, c.TrainFrac, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		c.progress("table3: %s", s.Name)
+		row := Table3Row{Dataset: s.Name}
+
+		row.HEPDFS, err = timeHEP(c, train, predict.AlgDFS)
+		if err != nil {
+			return nil, err
+		}
+		row.HEPBFS, err = timeHEP(c, train, predict.AlgBFS)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if lgr, err := baseline.NewLGR(train, baseline.LGROptions{Seed: c.Seed}); err == nil {
+			lgr.Predict()
+		}
+		row.LGR = time.Since(start)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func timeHEP(c Config, train *hypergraph.Hypergraph, alg predict.Algorithm) (time.Duration, error) {
+	budget := c.MaxExpansions
+	if alg != predict.AlgBFS {
+		budget *= c.DFSBudgetFactor // equal CPU, not equal steps
+	}
+	p, err := predict.New(train, predict.Options{
+		Lambda: c.Lambda, Tau: c.Tau, Algorithm: alg, MaxExpansions: budget,
+	})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	p.Run()
+	return time.Since(start), nil
+}
+
+// RenderTable3 formats Table3 rows.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %14s %14s %14s\n", "data", "HEP-DFS", "HEP-BFS", "LGR")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %14s %14s %14s\n", r.Dataset, r.HEPDFS, r.HEPBFS, r.LGR)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Fig. 11
+
+// Fig11Point is one runtime sweep point on the MO replica.
+type Fig11Point struct {
+	Dataset     string
+	Lambda, Tau int
+	HEPDFS      time.Duration
+	HEPBFS      time.Duration
+}
+
+// Fig11 regenerates Fig. 11: HEP-DFS and HEP-BFS runtimes with λ varying
+// (τ fixed) and τ varying (λ fixed), on the first configured dataset (the
+// paper uses MO, the default).
+func Fig11(cfg Config, lambdas, taus []int) (lambdaSweep, tauSweep []Fig11Point, err error) {
+	c := cfg.normalize()
+	name := "MO"
+	if len(c.Datasets) > 0 {
+		name = c.Datasets[0]
+	}
+	spec, err := dataset.Lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := c.replica(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	train, _, err := dataset.Split(g, c.TrainFrac, c.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	sweep := func(lambda, tau int) (Fig11Point, error) {
+		c.progress("fig11: %s λ=%d τ=%d", name, lambda, tau)
+		pt := Fig11Point{Dataset: name, Lambda: lambda, Tau: tau}
+		cc := c
+		cc.Lambda, cc.Tau = lambda, tau
+		var err error
+		if pt.HEPDFS, err = timeHEP(cc, train, predict.AlgDFS); err != nil {
+			return pt, err
+		}
+		pt.HEPBFS, err = timeHEP(cc, train, predict.AlgBFS)
+		return pt, err
+	}
+	for _, l := range lambdas {
+		pt, err := sweep(l, c.Tau)
+		if err != nil {
+			return nil, nil, err
+		}
+		lambdaSweep = append(lambdaSweep, pt)
+	}
+	for _, tau := range taus {
+		pt, err := sweep(c.Lambda, tau)
+		if err != nil {
+			return nil, nil, err
+		}
+		tauSweep = append(tauSweep, pt)
+	}
+	return lambdaSweep, tauSweep, nil
+}
+
+// RenderFig11 formats the runtime sweeps.
+func RenderFig11(lambdaSweep, tauSweep []Fig11Point) string {
+	ds := "MO"
+	if len(lambdaSweep) > 0 {
+		ds = lambdaSweep[0].Dataset
+	} else if len(tauSweep) > 0 {
+		ds = tauSweep[0].Dataset
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "varying λ (%s):\n", ds)
+	for _, p := range lambdaSweep {
+		fmt.Fprintf(&b, "  λ=%d τ=%d  HEP-DFS=%s HEP-BFS=%s\n", p.Lambda, p.Tau, p.HEPDFS, p.HEPBFS)
+	}
+	fmt.Fprintf(&b, "varying τ (%s):\n", ds)
+	for _, p := range tauSweep {
+		fmt.Fprintf(&b, "  λ=%d τ=%d  HEP-DFS=%s HEP-BFS=%s\n", p.Lambda, p.Tau, p.HEPDFS, p.HEPBFS)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Fig. 12
+
+// Fig12Point is one scalability point: runtimes on a fraction of TVG.
+type Fig12Point struct {
+	Fraction    float64
+	Lambda, Tau int
+	HEPDFS      time.Duration
+	HEPBFS      time.Duration
+	Nodes       int
+	Edges       int
+}
+
+// Fig12 regenerates Fig. 12: runtimes of HEP-DFS and HEP-BFS on the TVG
+// replica sub-sampled to the given node/hyperedge fractions, for parameter
+// settings (3,5) and (5,5).
+func Fig12(cfg Config, fractions []float64) ([]Fig12Point, error) {
+	c := cfg.normalize()
+	spec, err := dataset.Lookup("TVG")
+	if err != nil {
+		return nil, err
+	}
+	g, err := c.replica(spec)
+	if err != nil {
+		return nil, err
+	}
+	var points []Fig12Point
+	for _, set := range [][2]int{{3, 5}, {5, 5}} {
+		for _, f := range fractions {
+			c.progress("fig12: λ=%d τ=%d frac=%.0f%%", set[0], set[1], f*100)
+			sub := gen.Subsample(g, f, f, c.Seed)
+			train, _, err := dataset.Split(sub, c.TrainFrac, c.Seed)
+			if err != nil {
+				return nil, err
+			}
+			cc := c
+			cc.Lambda, cc.Tau = set[0], set[1]
+			pt := Fig12Point{Fraction: f, Lambda: set[0], Tau: set[1], Nodes: sub.NumNodes(), Edges: sub.NumEdges()}
+			if pt.HEPDFS, err = timeHEP(cc, train, predict.AlgDFS); err != nil {
+				return nil, err
+			}
+			if pt.HEPBFS, err = timeHEP(cc, train, predict.AlgBFS); err != nil {
+				return nil, err
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+// RenderFig12 formats the scalability points.
+func RenderFig12(points []Fig12Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s %4s %4s %8s %8s %14s %14s\n", "frac", "λ", "τ", "nodes", "edges", "HEP-DFS", "HEP-BFS")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%5.0f%% %4d %4d %8d %8d %14s %14s\n",
+			p.Fraction*100, p.Lambda, p.Tau, p.Nodes, p.Edges, p.HEPDFS, p.HEPBFS)
+	}
+	return b.String()
+}

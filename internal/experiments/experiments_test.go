@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny is a configuration small enough for unit tests: replicas at 1/5 of
+// the default scale, few pairs, tight search budgets.
+var tiny = Config{
+	Scale:         0.2,
+	Datasets:      []string{"PS", "HS"},
+	Pairs:         20,
+	MaxExpansions: 5_000,
+	Seed:          3,
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(Config{Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	out := RenderTable1(rows)
+	for _, name := range []string{"PS", "HS", "MO", "WM", "TVG", "AMZ"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 1 missing %s:\n%s", name, out)
+		}
+	}
+	// Paper columns must be verbatim Table I.
+	if !strings.Contains(out, "2268231") || !strings.Contains(out, "4285363") {
+		t.Fatalf("AMZ paper stats missing:\n%s", out)
+	}
+}
+
+func TestFig8ShapesHold(t *testing.T) {
+	rows, err := Fig8(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := RenderFig8(rows)
+	if !strings.Contains(out, "P(HEP)") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+	for _, r := range rows {
+		if r.HeldOut == 0 {
+			t.Fatalf("%s: empty held-out set", r.Dataset)
+		}
+		// The headline claim of Fig. 8(a): HEP's precision beats JS's.
+		if r.PredHEP > 0 && r.HEP.Precision < r.JS.Precision {
+			t.Fatalf("%s: HEP precision %v below JS %v", r.Dataset, r.HEP.Precision, r.JS.Precision)
+		}
+	}
+}
+
+func TestFig9Sweeps(t *testing.T) {
+	cfg := tiny
+	cfg.Datasets = []string{"HS"}
+	lams, taus, err := Fig9(cfg, []int{2, 3}, []int{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lams) != 2 || len(taus) != 2 {
+		t.Fatalf("sweep sizes %d, %d", len(lams), len(taus))
+	}
+	out := RenderFig9(lams, taus)
+	if !strings.Contains(out, "varying λ") || !strings.Contains(out, "varying τ") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}
+
+func TestTable2RuntimeShape(t *testing.T) {
+	cfg := tiny
+	cfg.Datasets = []string{"MO", "WM"} // the large-dataset rows carry the headline
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.BFS <= 0 || r.DFS <= 0 || r.HEU <= 0 {
+			t.Fatalf("%s: zero timings %+v", r.Dataset, r)
+		}
+		// The paper's headline (Table II): on the large datasets HGED-BFS
+		// is much faster than HGED-DFS and HGED-HEU.
+		if r.BFS > r.DFS {
+			t.Fatalf("%s: BFS (%v) slower than DFS (%v)", r.Dataset, r.BFS, r.DFS)
+		}
+		if r.BFS > r.HEU {
+			t.Fatalf("%s: BFS (%v) slower than HEU (%v)", r.Dataset, r.BFS, r.HEU)
+		}
+	}
+	if out := RenderTable2(rows); !strings.Contains(out, "HGED-BFS") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestTable3RuntimeShape(t *testing.T) {
+	cfg := tiny
+	cfg.Datasets = []string{"PS"} // dense contexts: the DFS hyperedge enumeration pays its price
+	rows, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.HEPBFS <= 0 || r.HEPDFS <= 0 {
+		t.Fatalf("zero timings: %+v", r)
+	}
+	// Table III's headline: HEP-BFS needs a fraction of HEP-DFS's time.
+	if r.HEPBFS > r.HEPDFS {
+		t.Fatalf("HEP-BFS (%v) slower than HEP-DFS (%v)", r.HEPBFS, r.HEPDFS)
+	}
+	if out := RenderTable3(rows); !strings.Contains(out, "HEP-DFS") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestFig11Sweeps(t *testing.T) {
+	cfg := tiny
+	lams, taus, err := Fig11(cfg, []int{2, 3}, []int{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lams) != 2 || len(taus) != 2 {
+		t.Fatalf("sweep sizes %d, %d", len(lams), len(taus))
+	}
+	if out := RenderFig11(lams, taus); !strings.Contains(out, "PS") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestFig12Scalability(t *testing.T) {
+	cfg := tiny
+	points, err := Fig12(cfg, []float64{0.3, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // 2 fractions × 2 parameter settings
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Fraction == 1.0 && p.Nodes == 0 {
+			t.Fatal("full fraction lost all nodes")
+		}
+	}
+	if out := RenderFig12(points); !strings.Contains(out, "HEP-BFS") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestAblationStrategies(t *testing.T) {
+	cfg := tiny
+	cfg.Datasets = []string{"HS"}
+	rows, err := AblationStrategies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("variants = %d, want 5", len(rows))
+	}
+	base := rows[0] // all strategies
+	noLB := rows[3]
+	if base.Expanded > noLB.Expanded {
+		t.Fatalf("lower bounds should not increase expansions: %d vs %d", base.Expanded, noLB.Expanded)
+	}
+	if out := RenderAblation(rows); !strings.Contains(out, "no lower bound") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestAblationEDC(t *testing.T) {
+	rows, err := AblationEDC(Config{Seed: 5}, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Agreements != r.Trials {
+			t.Fatalf("m=%d: permutation and Hungarian disagreed (%d/%d)", r.Edges, r.Agreements, r.Trials)
+		}
+	}
+	if out := RenderEDC(rows); !strings.Contains(out, "hungarian") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestCaseStudyRecoversCollaboration(t *testing.T) {
+	res, err := CaseStudy(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hit {
+		t.Fatalf("case study missed the target collaboration:\n%s", RenderCaseStudy(res))
+	}
+	out := RenderCaseStudy(res)
+	if !strings.Contains(out, "HIT") || !strings.Contains(out, "J. Han") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+	if res.Explanation == "" {
+		t.Fatal("case study should include an edit-path explanation")
+	}
+}
+
+func TestExtensionPrecisionAtK(t *testing.T) {
+	cfg := tiny
+	cfg.Datasets = []string{"HS"}
+	rows, err := ExtensionPrecisionAtK(cfg, []int{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if len(r.Precisions) != 2 {
+		t.Fatalf("precisions = %v", r.Precisions)
+	}
+	for _, p := range r.Precisions {
+		if p < 0 || p > 1 {
+			t.Fatalf("precision out of range: %v", r.Precisions)
+		}
+	}
+	if out := RenderPrecisionAtK(rows); !strings.Contains(out, "P@5") {
+		t.Fatalf("render malformed: %s", out)
+	}
+}
+
+func TestCaseStudyGraphIsValid(t *testing.T) {
+	g, names := CaseStudyGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != len(names) {
+		t.Fatalf("%d nodes but %d names", g.NumNodes(), len(names))
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hged/internal/dataset"
+	"hged/internal/eval"
+	"hged/internal/hypergraph"
+	"hged/internal/predict"
+)
+
+// PrecisionAtKRow is one dataset's precision@k curve for cohesion-ranked
+// HEP predictions (extension experiment E11: the paper reports aggregate
+// precision; ranking by the internal max-pairwise-σ score shows the
+// tightest predictions are also the most accurate).
+type PrecisionAtKRow struct {
+	Dataset    string
+	Ks         []int
+	Precisions []float64
+	Total      int // total ranked predictions
+}
+
+// ExtensionPrecisionAtK ranks HEP's predictions by cohesion and evaluates
+// precision at the given cutoffs on each dataset.
+func ExtensionPrecisionAtK(cfg Config, ks []int) ([]PrecisionAtKRow, error) {
+	c := cfg.normalize()
+	var rows []PrecisionAtKRow
+	for _, s := range c.specs() {
+		c.progress("p@k: %s", s.Name)
+		g, err := c.replica(s)
+		if err != nil {
+			return nil, err
+		}
+		train, held, err := dataset.Split(g, c.TrainFrac, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		p, err := predict.New(train, predict.Options{
+			Lambda: c.Lambda, Tau: c.Tau, MaxExpansions: c.MaxExpansions,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ranked := p.RunRanked()
+		sets := make([][]hypergraph.NodeID, len(ranked))
+		for i, r := range ranked {
+			sets[i] = r.Nodes
+		}
+		rows = append(rows, PrecisionAtKRow{
+			Dataset:    s.Name,
+			Ks:         ks,
+			Precisions: eval.PrecisionAtK(sets, held, eval.MatchOptions{Mode: eval.MatchContainment}, ks),
+			Total:      len(ranked),
+		})
+	}
+	return rows, nil
+}
+
+// RenderPrecisionAtK formats the precision@k curves.
+func RenderPrecisionAtK(rows []PrecisionAtKRow) string {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s (n=%d):", r.Dataset, r.Total)
+		for i, k := range r.Ks {
+			fmt.Fprintf(&b, "  P@%d=%.3f", k, r.Precisions[i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package hgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks that arbitrary input never panics the parser and
+// that anything it accepts is a valid hypergraph that round-trips.
+func FuzzReadText(f *testing.F) {
+	f.Add("nodes 3\nlabel 0 7\nedge 5 0 1 2\n")
+	f.Add("nodes 0\n")
+	f.Add("# comment only\nnodes 2\nedge 1\n")
+	f.Add("nodes 2\nedge 1 0 0 1\n")
+	f.Add("nodes -1\n")
+	f.Add("edge 1 0\n")
+	f.Add("nodes 9999999999999999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted an invalid hypergraph: %v\ninput: %q", verr, input)
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatalf("cannot re-serialize accepted graph: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nserialized: %q", err, buf.String())
+		}
+		if g.String() != back.String() {
+			t.Fatalf("round trip changed the graph:\n in: %v\nout: %v", g, back)
+		}
+	})
+}
+
+// FuzzReadJSON checks the JSON decoder the same way.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"nodeLabels":[1,2],"edges":[{"label":5,"nodes":[0,1]}]}`)
+	f.Add(`{}`)
+	f.Add(`{"nodeLabels":[],"edges":[{"label":1,"nodes":[0]}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted an invalid hypergraph: %v\ninput: %q", verr, input)
+		}
+	})
+}
+
+// FuzzReadBenson checks the Benson-format reader.
+func FuzzReadBenson(f *testing.F) {
+	f.Add("2 1", "1 2 3", "7 7 7")
+	f.Add("", "", "")
+	f.Add("3", "1 2", "")
+	f.Fuzz(func(t *testing.T, nverts, simplices, labels string) {
+		g, err := ReadBenson(strings.NewReader(nverts), strings.NewReader(simplices), strings.NewReader(labels))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted an invalid hypergraph: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package hypergraph
+
+import "sort"
+
+// Bipartite is the bipartite incidence-graph view of a hypergraph (Fig. 1(b)
+// of the paper): the left part holds the hypergraph's nodes, the right part
+// holds one vertex per hyperedge, and an edge (v, E) exists iff v ∈ E.
+//
+// HGED on a hypergraph is equivalent to a constrained GED on this bipartite
+// view (Section III "Hardness discussions"), which the bipartite-based EDC
+// computation of Algorithm 2 exploits.
+type Bipartite struct {
+	// NodeLabels[i] is the label of left vertex i (hypergraph node i).
+	NodeLabels []Label
+	// EdgeLabels[j] is the label of right vertex j (hyperedge j).
+	EdgeLabels []Label
+	// Adj[j] lists the left vertices incident to right vertex j, ascending.
+	Adj [][]NodeID
+	// NodeAdj[i] lists the right vertices incident to left vertex i,
+	// ascending.
+	NodeAdj [][]EdgeID
+}
+
+// ToBipartite builds the bipartite incidence view of h.
+func ToBipartite(h *Hypergraph) *Bipartite {
+	b := &Bipartite{
+		NodeLabels: append([]Label(nil), h.nodeLabels...),
+		EdgeLabels: make([]Label, h.NumEdges()),
+		Adj:        make([][]NodeID, h.NumEdges()),
+		NodeAdj:    make([][]EdgeID, h.NumNodes()),
+	}
+	for j, e := range h.edges {
+		b.EdgeLabels[j] = e.Label
+		b.Adj[j] = append([]NodeID(nil), e.Nodes...)
+	}
+	for i, inc := range h.incidence {
+		adj := append([]EdgeID(nil), inc...)
+		sort.Slice(adj, func(x, y int) bool { return adj[x] < adj[y] })
+		b.NodeAdj[i] = adj
+	}
+	return b
+}
+
+// NumLeft returns the number of left (node) vertices.
+func (b *Bipartite) NumLeft() int { return len(b.NodeLabels) }
+
+// NumRight returns the number of right (hyperedge) vertices.
+func (b *Bipartite) NumRight() int { return len(b.EdgeLabels) }
+
+// NumIncidences returns the total number of bipartite edges, i.e. the sum of
+// hyperedge cardinalities.
+func (b *Bipartite) NumIncidences() int {
+	n := 0
+	for _, a := range b.Adj {
+		n += len(a)
+	}
+	return n
+}
+
+// FromBipartite reconstructs the hypergraph a bipartite view was built from.
+func FromBipartite(b *Bipartite) *Hypergraph {
+	h := NewLabeled(b.NodeLabels)
+	for j, nodes := range b.Adj {
+		h.AddEdge(b.EdgeLabels[j], nodes...)
+	}
+	return h
+}

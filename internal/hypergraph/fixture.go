@@ -1,0 +1,47 @@
+package hypergraph
+
+// Labels used by the paper's running example (Fig. 1). Node labels are drawn
+// as shapes (□, △, ○) and hyperedge labels as colors (orange, grey).
+const (
+	LabelSquare   Label = 1 // □
+	LabelTriangle Label = 2 // △
+	LabelCircle   Label = 3 // ○
+	LabelOrange   Label = 10
+	LabelGrey     Label = 11
+)
+
+// Fig1 builds the running example of the paper (Fig. 1): a hypergraph with 8
+// nodes u1..u8 (stored as NodeIDs 0..7) and 4 hyperedges E1..E4 (EdgeIDs
+// 0..3):
+//
+//	E1 = {u1,u2,u4}    (orange)
+//	E2 = {u4,u6,u7}    (orange)
+//	E3 = {u2,u3,u5}    (grey)
+//	E4 = {u4,u5,u7,u8} (grey)
+//
+// Structure reproduces the facts used throughout the paper:
+// NEI(u4) = {u1,u2,u4,u5,u6,u7,u8}, NEI(u5) = {u2,u3,u4,u5,u7,u8}
+// (Example 1), and HGED(EGO(u4), EGO(u5)) = 6 via the edit path of Example 2
+// (relabel E1 orange→grey; reduce E2 by u4,u6,u7; delete node u6; delete E2).
+func Fig1() *Hypergraph {
+	// u1..u8 → ids 0..7.
+	labels := []Label{
+		LabelTriangle, // u1
+		LabelTriangle, // u2
+		LabelTriangle, // u3
+		LabelCircle,   // u4
+		LabelCircle,   // u5
+		LabelSquare,   // u6
+		LabelTriangle, // u7
+		LabelCircle,   // u8
+	}
+	h := NewLabeled(labels)
+	h.AddEdge(LabelOrange, 0, 1, 3)  // E1 = {u1,u2,u4}
+	h.AddEdge(LabelOrange, 3, 5, 6)  // E2 = {u4,u6,u7}
+	h.AddEdge(LabelGrey, 1, 2, 4)    // E3 = {u2,u3,u5}
+	h.AddEdge(LabelGrey, 3, 4, 6, 7) // E4 = {u4,u5,u7,u8}
+	return h
+}
+
+// U converts the paper's 1-based u_i naming to the 0-based NodeID used here.
+func U(i int) NodeID { return NodeID(i - 1) }

@@ -1,0 +1,354 @@
+// Package hypergraph implements the labeled, simple, undirected hypergraph
+// model of Qin et al., "Explainable Hyperlink Prediction: A Hypergraph Edit
+// Distance-Based Approach" (ICDE 2023), Section III.
+//
+// A hypergraph G = (V, E, l) has a node set V, a set of hyperedges E where
+// each hyperedge is an unordered set of nodes, and a labeling function l
+// assigning every node and every hyperedge a label. Hyperedge node lists are
+// kept sorted in ascending order, mirroring the paper's convention.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a hypergraph. IDs are dense: a hypergraph
+// with n nodes uses IDs 0..n-1.
+type NodeID int32
+
+// EdgeID identifies a hyperedge within a hypergraph. IDs are dense: a
+// hypergraph with m hyperedges uses IDs 0..m-1.
+type EdgeID int32
+
+// Label is a label drawn from the alphabet Σ. Labels of nodes and hyperedges
+// share one space so that ego networks extracted from the same host graph
+// remain comparable.
+type Label int32
+
+// NoLabel is the zero label, used for unlabeled graphs.
+const NoLabel Label = 0
+
+// Hyperedge is an unordered set of nodes with a label. Nodes are stored in
+// ascending NodeID order.
+type Hyperedge struct {
+	Label Label
+	Nodes []NodeID
+}
+
+// Arity returns the cardinality |E| of the hyperedge.
+func (e Hyperedge) Arity() int { return len(e.Nodes) }
+
+// Contains reports whether v is a member of the hyperedge, using binary
+// search over the sorted node list.
+func (e Hyperedge) Contains(v NodeID) bool {
+	i := sort.Search(len(e.Nodes), func(i int) bool { return e.Nodes[i] >= v })
+	return i < len(e.Nodes) && e.Nodes[i] == v
+}
+
+// clone returns a deep copy of the hyperedge.
+func (e Hyperedge) clone() Hyperedge {
+	nodes := make([]NodeID, len(e.Nodes))
+	copy(nodes, e.Nodes)
+	return Hyperedge{Label: e.Label, Nodes: nodes}
+}
+
+// Key returns a canonical string key for the node set (ignoring the label),
+// usable as a map key for deduplication.
+func (e Hyperedge) Key() string {
+	b := make([]byte, 0, len(e.Nodes)*4)
+	for _, v := range e.Nodes {
+		b = appendVarint(b, uint32(v))
+	}
+	return string(b)
+}
+
+func appendVarint(b []byte, x uint32) []byte {
+	for x >= 0x80 {
+		b = append(b, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(b, byte(x))
+}
+
+// Hypergraph is a labeled simple undirected hypergraph. The zero value is an
+// empty hypergraph ready to use; nodes are added with AddNode/AddNodes and
+// hyperedges with AddEdge.
+type Hypergraph struct {
+	nodeLabels []Label
+	edges      []Hyperedge
+	// incidence[v] lists the hyperedges containing v, in insertion order.
+	incidence [][]EdgeID
+	// origIDs, when non-nil, maps local NodeIDs back to the node IDs of a
+	// host graph this hypergraph was induced from. See InducedSubgraph.
+	origIDs []NodeID
+}
+
+// New returns an empty hypergraph with n unlabeled nodes.
+func New(n int) *Hypergraph {
+	h := &Hypergraph{
+		nodeLabels: make([]Label, n),
+		incidence:  make([][]EdgeID, n),
+	}
+	return h
+}
+
+// NewLabeled returns a hypergraph whose node i carries labels[i].
+func NewLabeled(labels []Label) *Hypergraph {
+	h := New(len(labels))
+	copy(h.nodeLabels, labels)
+	return h
+}
+
+// NumNodes returns |V|.
+func (h *Hypergraph) NumNodes() int { return len(h.nodeLabels) }
+
+// NumEdges returns |E|.
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// AddNode appends a node with the given label and returns its id.
+func (h *Hypergraph) AddNode(l Label) NodeID {
+	h.nodeLabels = append(h.nodeLabels, l)
+	h.incidence = append(h.incidence, nil)
+	return NodeID(len(h.nodeLabels) - 1)
+}
+
+// AddNodes appends n unlabeled nodes and returns the id of the first.
+func (h *Hypergraph) AddNodes(n int) NodeID {
+	first := NodeID(len(h.nodeLabels))
+	for i := 0; i < n; i++ {
+		h.AddNode(NoLabel)
+	}
+	return first
+}
+
+// AddEdge adds a hyperedge with the given label over the given nodes and
+// returns its id. The node list is copied, sorted and deduplicated. Adding an
+// empty hyperedge is legal (the paper's edit model explicitly includes
+// hyperedges of cardinality 0). AddEdge panics if any node id is out of
+// range.
+func (h *Hypergraph) AddEdge(l Label, nodes ...NodeID) EdgeID {
+	ns := make([]NodeID, len(nodes))
+	copy(ns, nodes)
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	ns = dedupSorted(ns)
+	for _, v := range ns {
+		if int(v) < 0 || int(v) >= len(h.nodeLabels) {
+			panic(fmt.Sprintf("hypergraph: AddEdge node %d out of range [0,%d)", v, len(h.nodeLabels)))
+		}
+	}
+	id := EdgeID(len(h.edges))
+	h.edges = append(h.edges, Hyperedge{Label: l, Nodes: ns})
+	for _, v := range ns {
+		h.incidence[v] = append(h.incidence[v], id)
+	}
+	return id
+}
+
+func dedupSorted(ns []NodeID) []NodeID {
+	if len(ns) < 2 {
+		return ns
+	}
+	w := 1
+	for i := 1; i < len(ns); i++ {
+		if ns[i] != ns[i-1] {
+			ns[w] = ns[i]
+			w++
+		}
+	}
+	return ns[:w]
+}
+
+// NodeLabel returns l(v).
+func (h *Hypergraph) NodeLabel(v NodeID) Label { return h.nodeLabels[v] }
+
+// SetNodeLabel sets l(v).
+func (h *Hypergraph) SetNodeLabel(v NodeID, l Label) { h.nodeLabels[v] = l }
+
+// EdgeLabel returns l(E).
+func (h *Hypergraph) EdgeLabel(e EdgeID) Label { return h.edges[e].Label }
+
+// SetEdgeLabel sets l(E).
+func (h *Hypergraph) SetEdgeLabel(e EdgeID, l Label) { h.edges[e].Label = l }
+
+// Edge returns the hyperedge with id e. The returned value shares its node
+// slice with the hypergraph; callers must not mutate it.
+func (h *Hypergraph) Edge(e EdgeID) Hyperedge { return h.edges[e] }
+
+// Edges returns all hyperedges. The slice and the contained node lists are
+// shared with the hypergraph; callers must not mutate them.
+func (h *Hypergraph) Edges() []Hyperedge { return h.edges }
+
+// IncidentEdges returns the ids of hyperedges containing v. The returned
+// slice is shared with the hypergraph; callers must not mutate it.
+func (h *Hypergraph) IncidentEdges(v NodeID) []EdgeID { return h.incidence[v] }
+
+// Degree returns DEG(v) = |{E : v ∈ E}|, the number of hyperedges containing
+// v.
+func (h *Hypergraph) Degree(v NodeID) int { return len(h.incidence[v]) }
+
+// Neighbors returns NEI(v) = {v} ∪ {u : ∃E, {u,v} ⊆ E}, sorted ascending.
+// Per Definition 1 of the paper, the set always includes v itself.
+func (h *Hypergraph) Neighbors(v NodeID) []NodeID {
+	seen := map[NodeID]struct{}{v: {}}
+	for _, e := range h.incidence[v] {
+		for _, u := range h.edges[e].Nodes {
+			seen[u] = struct{}{}
+		}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumNeighbors returns |NEI(v)| without materializing the sorted slice.
+func (h *Hypergraph) NumNeighbors(v NodeID) int {
+	seen := map[NodeID]struct{}{v: {}}
+	for _, e := range h.incidence[v] {
+		for _, u := range h.edges[e].Nodes {
+			seen[u] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// OrigID maps a node of an induced sub-hypergraph back to the node id it had
+// in the host graph it was induced from. For hypergraphs that were not
+// induced, OrigID is the identity.
+func (h *Hypergraph) OrigID(v NodeID) NodeID {
+	if h.origIDs == nil {
+		return v
+	}
+	return h.origIDs[v]
+}
+
+// InducedSubgraph returns G_S, the sub-hypergraph induced by node set S: its
+// nodes are S (relabeled 0..|S|-1 in ascending original order) and its
+// hyperedges are exactly the hyperedges of h fully contained in S.
+// The result records original ids, retrievable via OrigID.
+func (h *Hypergraph) InducedSubgraph(s []NodeID) *Hypergraph {
+	sorted := make([]NodeID, len(s))
+	copy(sorted, s)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted = dedupSorted(sorted)
+
+	remap := make(map[NodeID]NodeID, len(sorted))
+	labels := make([]Label, len(sorted))
+	for i, v := range sorted {
+		remap[v] = NodeID(i)
+		labels[i] = h.nodeLabels[v]
+	}
+	sub := NewLabeled(labels)
+	sub.origIDs = make([]NodeID, len(sorted))
+	for i, v := range sorted {
+		sub.origIDs[i] = h.OrigID(v)
+	}
+
+	// Collect candidate hyperedges once via incidence lists so the cost is
+	// proportional to the edges touching S, not |E|.
+	seen := make(map[EdgeID]struct{})
+	var cand []EdgeID
+	for _, v := range sorted {
+		for _, e := range h.incidence[v] {
+			if _, ok := seen[e]; !ok {
+				seen[e] = struct{}{}
+				cand = append(cand, e)
+			}
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	for _, e := range cand {
+		edge := h.edges[e]
+		inside := true
+		mapped := make([]NodeID, 0, len(edge.Nodes))
+		for _, u := range edge.Nodes {
+			nu, ok := remap[u]
+			if !ok {
+				inside = false
+				break
+			}
+			mapped = append(mapped, nu)
+		}
+		if inside {
+			sub.AddEdge(edge.Label, mapped...)
+		}
+	}
+	return sub
+}
+
+// Ego returns EGO(v), the ego network of v: the sub-hypergraph induced by
+// NEI(v) (Definition 1).
+func (h *Hypergraph) Ego(v NodeID) *Hypergraph {
+	return h.InducedSubgraph(h.Neighbors(v))
+}
+
+// Clone returns a deep copy of the hypergraph.
+func (h *Hypergraph) Clone() *Hypergraph {
+	c := &Hypergraph{
+		nodeLabels: append([]Label(nil), h.nodeLabels...),
+		edges:      make([]Hyperedge, len(h.edges)),
+		incidence:  make([][]EdgeID, len(h.incidence)),
+	}
+	for i, e := range h.edges {
+		c.edges[i] = e.clone()
+	}
+	for i, inc := range h.incidence {
+		c.incidence[i] = append([]EdgeID(nil), inc...)
+	}
+	if h.origIDs != nil {
+		c.origIDs = append([]NodeID(nil), h.origIDs...)
+	}
+	return c
+}
+
+// Validate checks structural invariants: hyperedge node lists sorted, unique
+// and in range, and incidence lists consistent with edges. It returns the
+// first violation found, or nil.
+func (h *Hypergraph) Validate() error {
+	n := len(h.nodeLabels)
+	if len(h.incidence) != n {
+		return fmt.Errorf("hypergraph: incidence length %d != node count %d", len(h.incidence), n)
+	}
+	counts := make(map[NodeID]int)
+	for id, e := range h.edges {
+		for i, v := range e.Nodes {
+			if int(v) < 0 || int(v) >= n {
+				return fmt.Errorf("hypergraph: edge %d node %d out of range", id, v)
+			}
+			if i > 0 && e.Nodes[i-1] >= v {
+				return fmt.Errorf("hypergraph: edge %d nodes not sorted/unique at index %d", id, i)
+			}
+			counts[v]++
+		}
+	}
+	for v, inc := range h.incidence {
+		if counts[NodeID(v)] != len(inc) {
+			return fmt.Errorf("hypergraph: node %d incidence count %d != membership count %d", v, len(inc), counts[NodeID(v)])
+		}
+		for _, e := range inc {
+			if int(e) < 0 || int(e) >= len(h.edges) {
+				return fmt.Errorf("hypergraph: node %d incident edge %d out of range", v, e)
+			}
+			if !h.edges[e].Contains(NodeID(v)) {
+				return fmt.Errorf("hypergraph: node %d listed incident to edge %d but not a member", v, e)
+			}
+		}
+	}
+	return nil
+}
+
+// String returns a compact human-readable rendering, e.g.
+// "H(n=3,m=2){0:[0 1]@1 1:[1 2]@2}".
+func (h *Hypergraph) String() string {
+	s := fmt.Sprintf("H(n=%d,m=%d){", h.NumNodes(), h.NumEdges())
+	for i, e := range h.edges {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%v@%d", i, e.Nodes, e.Label)
+	}
+	return s + "}"
+}

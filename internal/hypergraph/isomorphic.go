@@ -1,0 +1,163 @@
+package hypergraph
+
+import "sort"
+
+// Isomorphic reports whether g and h are isomorphic hypergraphs per
+// Definition 2: there is a bijection f over nodes preserving node labels,
+// hyperedge membership, and hyperedge labels. It runs a label- and
+// degree-pruned backtracking search and is intended for the small graphs
+// (ego networks, test fixtures) this library compares; its worst case is
+// exponential.
+func Isomorphic(g, h *Hypergraph) bool {
+	if g.NumNodes() != h.NumNodes() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return edgeMultisetEqual(g, h)
+	}
+	// Quick invariant screens.
+	if !labelMultisetEqual(g.nodeLabels, h.nodeLabels) {
+		return false
+	}
+	if !degreeSequenceEqual(g, h) {
+		return false
+	}
+	gc := cardinalities(g)
+	hc := cardinalities(h)
+	for i := range gc {
+		if gc[i] != hc[i] {
+			return false
+		}
+	}
+
+	// candidates[v] lists nodes of h that v may map to (label and degree
+	// compatible).
+	candidates := make([][]NodeID, n)
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if g.nodeLabels[v] == h.nodeLabels[u] && g.Degree(NodeID(v)) == h.Degree(NodeID(u)) {
+				candidates[v] = append(candidates[v], NodeID(u))
+			}
+		}
+		if len(candidates[v]) == 0 {
+			return false
+		}
+	}
+	// Map most-constrained nodes first.
+	order := make([]NodeID, n)
+	for i := range order {
+		order[i] = NodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return len(candidates[order[i]]) < len(candidates[order[j]])
+	})
+
+	mapping := make([]NodeID, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	used := make([]bool, n)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return edgesMatch(g, h, mapping)
+		}
+		v := order[i]
+		for _, u := range candidates[v] {
+			if used[u] {
+				continue
+			}
+			mapping[v] = u
+			used[u] = true
+			if rec(i + 1) {
+				return true
+			}
+			used[u] = false
+			mapping[v] = -1
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func labelMultisetEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[Label]int, len(a))
+	for _, l := range a {
+		counts[l]++
+	}
+	for _, l := range b {
+		counts[l]--
+		if counts[l] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func degreeSequenceEqual(g, h *Hypergraph) bool {
+	dg := make([]int, g.NumNodes())
+	dh := make([]int, h.NumNodes())
+	for v := range dg {
+		dg[v] = g.Degree(NodeID(v))
+		dh[v] = h.Degree(NodeID(v))
+	}
+	sort.Ints(dg)
+	sort.Ints(dh)
+	for i := range dg {
+		if dg[i] != dh[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cardinalities(g *Hypergraph) []int {
+	cs := make([]int, g.NumEdges())
+	for i, e := range g.edges {
+		cs[i] = len(e.Nodes)
+	}
+	sort.Ints(cs)
+	return cs
+}
+
+// edgesMatch verifies that under the complete node mapping, the labeled
+// hyperedge multisets of g and h coincide.
+func edgesMatch(g, h *Hypergraph, mapping []NodeID) bool {
+	type edgeKey struct {
+		label Label
+		key   string
+	}
+	want := make(map[edgeKey]int, h.NumEdges())
+	for _, e := range h.edges {
+		want[edgeKey{e.Label, e.Key()}]++
+	}
+	buf := make([]NodeID, 0, 16)
+	for _, e := range g.edges {
+		buf = buf[:0]
+		for _, v := range e.Nodes {
+			buf = append(buf, mapping[v])
+		}
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		k := edgeKey{e.Label, Hyperedge{Nodes: buf}.Key()}
+		if want[k] == 0 {
+			return false
+		}
+		want[k]--
+	}
+	return true
+}
+
+func edgeMultisetEqual(g, h *Hypergraph) bool {
+	if g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	id := make([]NodeID, g.NumNodes())
+	for i := range id {
+		id[i] = NodeID(i)
+	}
+	return edgesMatch(g, h, id)
+}

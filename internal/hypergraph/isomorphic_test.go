@@ -1,0 +1,114 @@
+package hypergraph
+
+import "testing"
+
+func TestIsomorphicIdentity(t *testing.T) {
+	h := Fig1()
+	if !Isomorphic(h, h) {
+		t.Fatal("graph not isomorphic to itself")
+	}
+	if !Isomorphic(h, h.Clone()) {
+		t.Fatal("graph not isomorphic to its clone")
+	}
+}
+
+func TestIsomorphicRelabeledNodes(t *testing.T) {
+	// Same structure, nodes permuted.
+	g := New(0)
+	a := g.AddNode(1)
+	b := g.AddNode(2)
+	c := g.AddNode(3)
+	g.AddEdge(9, a, b)
+	g.AddEdge(8, b, c)
+
+	h := New(0)
+	x := h.AddNode(3)
+	y := h.AddNode(2)
+	z := h.AddNode(1)
+	h.AddEdge(8, x, y)
+	h.AddEdge(9, y, z)
+
+	if !Isomorphic(g, h) {
+		t.Fatal("permuted graphs should be isomorphic")
+	}
+}
+
+func TestNotIsomorphicDifferentNodeLabels(t *testing.T) {
+	g := NewLabeled([]Label{1, 1})
+	g.AddEdge(NoLabel, 0, 1)
+	h := NewLabeled([]Label{1, 2})
+	h.AddEdge(NoLabel, 0, 1)
+	if Isomorphic(g, h) {
+		t.Fatal("different node label multisets should not be isomorphic")
+	}
+}
+
+func TestNotIsomorphicDifferentEdgeLabels(t *testing.T) {
+	g := NewLabeled([]Label{1, 1})
+	g.AddEdge(5, 0, 1)
+	h := NewLabeled([]Label{1, 1})
+	h.AddEdge(6, 0, 1)
+	if Isomorphic(g, h) {
+		t.Fatal("different edge labels should not be isomorphic")
+	}
+}
+
+func TestNotIsomorphicDifferentStructure(t *testing.T) {
+	// Path vs star on 4 labeled-identical nodes, pairwise hyperedges.
+	g := New(4)
+	g.AddEdge(NoLabel, 0, 1)
+	g.AddEdge(NoLabel, 1, 2)
+	g.AddEdge(NoLabel, 2, 3)
+	h := New(4)
+	h.AddEdge(NoLabel, 0, 1)
+	h.AddEdge(NoLabel, 0, 2)
+	h.AddEdge(NoLabel, 0, 3)
+	if Isomorphic(g, h) {
+		t.Fatal("path and star should not be isomorphic")
+	}
+}
+
+func TestNotIsomorphicDifferentCardinalities(t *testing.T) {
+	g := New(3)
+	g.AddEdge(NoLabel, 0, 1, 2)
+	h := New(3)
+	h.AddEdge(NoLabel, 0, 1)
+	if Isomorphic(g, h) {
+		t.Fatal("cardinality-3 vs cardinality-2 hyperedge should differ")
+	}
+}
+
+func TestIsomorphicEmptyAndSizeMismatch(t *testing.T) {
+	if !Isomorphic(New(0), New(0)) {
+		t.Fatal("empty graphs are isomorphic")
+	}
+	if Isomorphic(New(1), New(2)) {
+		t.Fatal("size mismatch should fail fast")
+	}
+}
+
+func TestIsomorphicDuplicateEdges(t *testing.T) {
+	// Multisets of hyperedges must match with multiplicity.
+	g := New(2)
+	g.AddEdge(NoLabel, 0, 1)
+	g.AddEdge(NoLabel, 0, 1)
+	h := New(2)
+	h.AddEdge(NoLabel, 0, 1)
+	h.AddEdge(NoLabel, 0)
+	if Isomorphic(g, h) {
+		t.Fatal("edge multisets differ")
+	}
+	h2 := New(2)
+	h2.AddEdge(NoLabel, 0, 1)
+	h2.AddEdge(NoLabel, 0, 1)
+	if !Isomorphic(g, h2) {
+		t.Fatal("duplicate edges should match with multiplicity")
+	}
+}
+
+func TestIsomorphicEgoNetworksNotIsomorphic(t *testing.T) {
+	h := Fig1()
+	if Isomorphic(h.Ego(U(4)), h.Ego(U(5))) {
+		t.Fatal("EGO(u4) and EGO(u5) differ (HGED = 6, not 0)")
+	}
+}

@@ -1,0 +1,194 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genGraph builds a random hypergraph from a seed, for quick-check
+// properties.
+func genGraph(seed int64) *Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	n := rng.Intn(12) + 1
+	g := New(0)
+	for i := 0; i < n; i++ {
+		g.AddNode(Label(1 + rng.Intn(4)))
+	}
+	m := rng.Intn(10)
+	for e := 0; e < m; e++ {
+		k := rng.Intn(n) + 1
+		perm := rng.Perm(n)
+		nodes := make([]NodeID, 0, k)
+		for _, v := range perm[:k] {
+			nodes = append(nodes, NodeID(v))
+		}
+		g.AddEdge(Label(10+rng.Intn(3)), nodes...)
+	}
+	return g
+}
+
+func TestQuickGeneratedGraphsValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		return genGraph(seed).Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNeighborsSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(seed)
+		for v := 0; v < g.NumNodes(); v++ {
+			for _, u := range g.Neighbors(NodeID(v)) {
+				if u == NodeID(v) {
+					continue
+				}
+				found := false
+				for _, w := range g.Neighbors(u) {
+					if w == NodeID(v) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDegreeSumEqualsIncidences(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(seed)
+		total := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			total += g.Degree(NodeID(v))
+		}
+		return total == Summarize(g).Incidences
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInducedSubgraphIsSubset(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		g := genGraph(seed)
+		var s []NodeID
+		for v := 0; v < g.NumNodes(); v++ {
+			if (uint8(v)+pick)%3 != 0 {
+				s = append(s, NodeID(v))
+			}
+		}
+		sub := g.InducedSubgraph(s)
+		if sub.NumNodes() != len(s) {
+			return false
+		}
+		if sub.Validate() != nil {
+			return false
+		}
+		// Every induced hyperedge corresponds to a host hyperedge fully
+		// inside s, with the same label and cardinality.
+		inS := make(map[NodeID]bool, len(s))
+		for _, v := range s {
+			inS[v] = true
+		}
+		want := 0
+		for _, e := range g.Edges() {
+			inside := true
+			for _, v := range e.Nodes {
+				if !inS[v] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				want++
+			}
+		}
+		return sub.NumEdges() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEgoContainsAllIncidentEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(seed)
+		for v := 0; v < g.NumNodes(); v++ {
+			ego := g.Ego(NodeID(v))
+			// Every hyperedge containing v survives (its members are all
+			// neighbors of v by definition).
+			if ego.NumEdges() < g.Degree(NodeID(v)) {
+				return false
+			}
+			if ego.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBipartiteRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(seed)
+		back := FromBipartite(ToBipartite(g))
+		return g.String() == back.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCloneEqualAndIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(seed)
+		c := g.Clone()
+		if g.String() != c.String() {
+			return false
+		}
+		c.AddNode(99)
+		return g.NumNodes() != c.NumNodes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIsomorphismIsReflexiveUnderPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(seed)
+		// Rebuild g with a random node permutation; must be isomorphic.
+		rng := rand.New(rand.NewSource(seed ^ 0x5ee5))
+		perm := rng.Perm(g.NumNodes())
+		labels := make([]Label, g.NumNodes())
+		for v := 0; v < g.NumNodes(); v++ {
+			labels[perm[v]] = g.NodeLabel(NodeID(v))
+		}
+		h := NewLabeled(labels)
+		for _, e := range g.Edges() {
+			nodes := make([]NodeID, len(e.Nodes))
+			for i, v := range e.Nodes {
+				nodes[i] = NodeID(perm[v])
+			}
+			h.AddEdge(e.Label, nodes...)
+		}
+		return Isomorphic(g, h)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarizes a hypergraph in the shape of Table I of the paper.
+type Stats struct {
+	Nodes          int     // |V| = n
+	Edges          int     // |E| = m
+	MeanEdgeSize   float64 // mean of hyperedge cardinalities
+	MedianEdgeSize int     // median of hyperedge cardinalities
+	NodeLabels     int     // |l(V)|, number of distinct node labels
+	EdgeLabels     int     // number of distinct hyperedge labels
+	MaxDegree      int
+	MeanDegree     float64
+	MaxEdgeSize    int
+	Incidences     int // total Σ|E|, bipartite edge count
+}
+
+// Summarize computes Stats for h.
+func Summarize(h *Hypergraph) Stats {
+	s := Stats{Nodes: h.NumNodes(), Edges: h.NumEdges()}
+	sizes := make([]int, 0, h.NumEdges())
+	elabels := make(map[Label]struct{})
+	for _, e := range h.edges {
+		sizes = append(sizes, len(e.Nodes))
+		s.Incidences += len(e.Nodes)
+		elabels[e.Label] = struct{}{}
+	}
+	if len(sizes) > 0 {
+		sort.Ints(sizes)
+		s.MedianEdgeSize = sizes[len(sizes)/2]
+		s.MaxEdgeSize = sizes[len(sizes)-1]
+		s.MeanEdgeSize = float64(s.Incidences) / float64(len(sizes))
+	}
+	nlabels := make(map[Label]struct{})
+	totalDeg := 0
+	for v := range h.nodeLabels {
+		nlabels[h.nodeLabels[v]] = struct{}{}
+		d := h.Degree(NodeID(v))
+		totalDeg += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	s.NodeLabels = len(nlabels)
+	s.EdgeLabels = len(elabels)
+	if s.Nodes > 0 {
+		s.MeanDegree = float64(totalDeg) / float64(s.Nodes)
+	}
+	return s
+}
+
+// String renders the stats as one Table-I-style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d mean|E|=%.1f med|E|=%d |l(V)|=%d",
+		s.Nodes, s.Edges, s.MeanEdgeSize, s.MedianEdgeSize, s.NodeLabels)
+}
+
+// DegreeHistogram returns a map from degree to the number of nodes with that
+// degree.
+func DegreeHistogram(h *Hypergraph) map[int]int {
+	hist := make(map[int]int)
+	for v := 0; v < h.NumNodes(); v++ {
+		hist[h.Degree(NodeID(v))]++
+	}
+	return hist
+}
+
+// EdgeSizeHistogram returns a map from hyperedge cardinality to the number of
+// hyperedges with that cardinality.
+func EdgeSizeHistogram(h *Hypergraph) map[int]int {
+	hist := make(map[int]int)
+	for _, e := range h.edges {
+		hist[len(e.Nodes)]++
+	}
+	return hist
+}
+
+// ConnectedComponents returns the node sets of the connected components of h
+// (two nodes are connected when they share a hyperedge), each sorted
+// ascending, ordered by their smallest member.
+func ConnectedComponents(h *Hypergraph) [][]NodeID {
+	n := h.NumNodes()
+	visited := make([]bool, n)
+	var comps [][]NodeID
+	queue := make([]NodeID, 0, 64)
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		queue = append(queue[:0], NodeID(start))
+		comp := []NodeID{NodeID(start)}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range h.incidence[v] {
+				for _, u := range h.edges[e].Nodes {
+					if !visited[u] {
+						visited[u] = true
+						comp = append(comp, u)
+						queue = append(queue, u)
+					}
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// HopDistances runs a hop-count BFS from src over the hypergraph's co-member
+// relation and returns a distance slice (-1 for unreachable nodes). It stops
+// expanding beyond maxHops when maxHops >= 0.
+func HopDistances(h *Hypergraph, src NodeID, maxHops int) []int {
+	dist := make([]int, h.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if maxHops >= 0 && dist[v] >= maxHops {
+			continue
+		}
+		for _, e := range h.incidence[v] {
+			for _, u := range h.edges[e].Nodes {
+				if dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return dist
+}

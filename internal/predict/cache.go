@@ -1,0 +1,199 @@
+package predict
+
+import (
+	"sync"
+
+	"hged/internal/core"
+	"hged/internal/hypergraph"
+)
+
+// PairMetric is a pluggable node-dissimilarity: it returns the integer
+// distance between u and v in g and whether it is within the budget. Used
+// by NewWithMetric to drive the HEP framework with non-HGED similarities
+// (e.g. Jaccard). Metrics are context-independent.
+type PairMetric func(g *hypergraph.Hypergraph, u, v hypergraph.NodeID, budget int) (int, bool)
+
+// pairCache memoizes σ computations — the on-demand algorithm of
+// Section V. Entries record either an exact distance or a proven lower
+// bound ("> b"), so repeated queries with different budgets reuse earlier
+// work and each (context, pair) is searched at most a handful of times.
+// The cache is safe for concurrent use.
+type pairCache struct {
+	g      *hypergraph.Hypergraph
+	solver Algorithm
+	maxEgo int
+	maxExp int64
+	metric PairMetric
+
+	mu sync.Mutex
+	// full memoizes full-graph σ (Problem 1) by node pair.
+	full map[uint64]cacheEntry
+	// ctx memoizes induced-context σ by context key + node pair.
+	ctx map[string]cacheEntry
+	// egos caches full-graph ego networks for Sigma/Explain.
+	egos     map[hypergraph.NodeID]*hypergraph.Hypergraph
+	computed int
+	hits     int
+	expanded int64
+}
+
+// cacheEntry is an exact distance (Exact=true) or a proven lower bound:
+// the distance is known to exceed Bound.
+type cacheEntry struct {
+	Dist  int32
+	Bound int32
+	Exact bool
+}
+
+func newPairCache(g *hypergraph.Hypergraph, o Options, metric PairMetric) *pairCache {
+	return &pairCache{
+		g:      g,
+		solver: o.Algorithm,
+		maxEgo: o.MaxEgoNodes,
+		maxExp: o.MaxExpansions,
+		metric: metric,
+		full:   make(map[uint64]cacheEntry),
+		ctx:    make(map[string]cacheEntry),
+		egos:   make(map[hypergraph.NodeID]*hypergraph.Hypergraph),
+	}
+}
+
+func pairKey(u, v hypergraph.NodeID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+func ctxPairKey(ctx string, u, v hypergraph.NodeID) string {
+	if u > v {
+		u, v = v, u
+	}
+	b := make([]byte, 0, len(ctx)+9)
+	b = append(b, ctx...)
+	b = append(b, '|', byte(u), byte(u>>8), byte(u>>16), byte(u>>24), byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	return string(b)
+}
+
+// answer resolves a cached entry against a budget: hit=false means the
+// entry cannot answer and a (re)computation is needed.
+func (e cacheEntry) answer(budget int) (d int, within, hit bool) {
+	if e.Exact {
+		return int(e.Dist), int(e.Dist) <= budget, true
+	}
+	if int(e.Bound) >= budget {
+		return 0, false, true // proven > Bound ≥ budget
+	}
+	return 0, false, false
+}
+
+// fullDistance returns the full-graph σ(u, v) under the budget.
+func (c *pairCache) fullDistance(u, v hypergraph.NodeID, budget int) (int, bool) {
+	if u == v {
+		return 0, true
+	}
+	if c.metric != nil {
+		return c.metric(c.g, u, v, budget)
+	}
+	key := pairKey(u, v)
+	c.mu.Lock()
+	if e, ok := c.full[key]; ok {
+		if d, within, hit := e.answer(budget); hit {
+			c.hits++
+			c.mu.Unlock()
+			return d, within
+		}
+	}
+	c.mu.Unlock()
+
+	eu, ev := c.ego(u), c.ego(v)
+	if c.maxEgo > 0 && (eu.NumNodes() > c.maxEgo || ev.NumNodes() > c.maxEgo) {
+		return 0, false
+	}
+	e := c.solve(eu, ev, budget)
+	c.mu.Lock()
+	c.computed++
+	c.full[key] = e
+	c.mu.Unlock()
+	d, within, _ := e.answer(budget)
+	return d, within
+}
+
+// contextDistance returns σ inside the induced sub-hypergraph sub (whose
+// canonical node-set key is ctxKey) between local nodes uL and vL, which
+// correspond to original nodes u and v.
+func (c *pairCache) contextDistance(ctxKey string, sub *hypergraph.Hypergraph, uL, vL, u, v hypergraph.NodeID, budget int) (int, bool) {
+	if u == v {
+		return 0, true
+	}
+	if c.metric != nil {
+		// Metrics are neighborhood statistics over the full graph;
+		// memoize by pair only.
+		return c.metric(c.g, u, v, budget)
+	}
+	key := ctxPairKey(ctxKey, u, v)
+	c.mu.Lock()
+	if e, ok := c.ctx[key]; ok {
+		if d, within, hit := e.answer(budget); hit {
+			c.hits++
+			c.mu.Unlock()
+			return d, within
+		}
+	}
+	c.mu.Unlock()
+
+	e := c.solve(sub.Ego(uL), sub.Ego(vL), budget)
+	c.mu.Lock()
+	c.computed++
+	c.ctx[key] = e
+	c.mu.Unlock()
+	d, within, _ := e.answer(budget)
+	return d, within
+}
+
+// solve runs the configured HGED solver with the given threshold and
+// converts the result to a cache entry.
+func (c *pairCache) solve(eu, ev *hypergraph.Hypergraph, budget int) cacheEntry {
+	// The Strategy-3 screen serves the BFS solver; HEP-DFS and HEP-HEU
+	// stay faithful to the paper's variants, which have no lower bounds.
+	if c.solver == AlgBFS && core.LowerBound(eu, ev) > budget {
+		return cacheEntry{Bound: int32(budget)}
+	}
+	opts := core.Options{Threshold: budget, MaxExpansions: c.maxExp}
+	var res core.Result
+	switch c.solver {
+	case AlgDFS:
+		res = core.DFS(eu, ev, opts)
+	case AlgHEU:
+		res = core.HEU(eu, ev, opts)
+	default:
+		res = core.BFS(eu, ev, opts)
+	}
+	c.mu.Lock()
+	c.expanded += res.Expanded
+	c.mu.Unlock()
+	if res.Exceeded || res.Distance > budget {
+		// A proven exceedance, or — under an expansion cap — only an
+		// upper bound above the budget: conservatively treated as "not
+		// within", as the budget-capped paper variants behave.
+		return cacheEntry{Bound: int32(budget)}
+	}
+	// res.Distance ≤ budget: within. Under an expansion cap this is an
+	// upper bound rather than the exact optimum; it still certifies
+	// "within budget".
+	return cacheEntry{Dist: int32(res.Distance), Exact: true}
+}
+
+func (c *pairCache) ego(v hypergraph.NodeID) *hypergraph.Hypergraph {
+	c.mu.Lock()
+	e, ok := c.egos[v]
+	c.mu.Unlock()
+	if ok {
+		return e
+	}
+	e = c.g.Ego(v)
+	c.mu.Lock()
+	c.egos[v] = e
+	c.mu.Unlock()
+	return e
+}

@@ -1,0 +1,66 @@
+package predict
+
+import (
+	"testing"
+
+	"hged/internal/hypergraph"
+)
+
+func TestRunRankedOrdering(t *testing.T) {
+	// Community A is perfectly cohesive; community B has a label-noisy
+	// member, so its prediction should rank looser.
+	g := hypergraph.New(0)
+	for i := 0; i < 4; i++ {
+		g.AddNode(1)
+	}
+	for i := 0; i < 3; i++ {
+		g.AddNode(2)
+	}
+	g.AddNode(3) // noisy label in community B
+	add := func(l hypergraph.Label, base hypergraph.NodeID) {
+		g.AddEdge(l, base, base+1, base+2)
+		g.AddEdge(l, base, base+1, base+3)
+		g.AddEdge(l, base, base+2, base+3)
+	}
+	add(10, 0)
+	add(20, 4)
+	p, err := New(g, Options{Lambda: 3, Tau: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := p.RunRanked()
+	if len(ranked) < 2 {
+		t.Fatalf("expected ≥ 2 ranked predictions, got %d", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Score > ranked[i].Score {
+			t.Fatalf("ranking not ascending: %d then %d", ranked[i-1].Score, ranked[i].Score)
+		}
+	}
+	// The homogeneous community {0,1,2,3} must outrank the noisy one.
+	if ranked[0].Nodes[0] != 0 {
+		t.Fatalf("tightest prediction should be community A, got %v (score %d)",
+			ranked[0].Nodes, ranked[0].Score)
+	}
+	if ranked[0].Score != 0 {
+		t.Fatalf("community A cohesion = %d, want 0 (isomorphic egos)", ranked[0].Score)
+	}
+	// Scores of emitted predictions are bounded by λτ.
+	for _, r := range ranked {
+		if r.Score > 15 {
+			t.Fatalf("score %d exceeds λτ for %v", r.Score, r.Nodes)
+		}
+		if r.MeanScore > float64(r.Score) {
+			t.Fatalf("mean %v exceeds max %d", r.MeanScore, r.Score)
+		}
+	}
+}
+
+func TestCohesionSingleton(t *testing.T) {
+	g := hypergraph.New(2)
+	g.AddEdge(1, 0, 1)
+	p, _ := New(g, Options{})
+	if s, m := p.cohesion([]hypergraph.NodeID{0}); s != 0 || m != 0 {
+		t.Fatalf("singleton cohesion = %d, %v", s, m)
+	}
+}

@@ -1,0 +1,237 @@
+// Package search implements hypergraph similarity search: given a corpus of
+// hypergraphs and a query, find all corpus members within HGED ≤ τ (range
+// search) or the k nearest (kNN). It follows the filtering-and-verification
+// paradigm of the GED similarity-search literature the paper builds on
+// (Sanfeliu & Fu; Zhao et al.; Chang et al. — refs [25], [27]–[30]):
+// cheap per-graph signatures prune candidates with admissible lower bounds,
+// and only survivors pay for an exact HGED-BFS verification.
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"hged/internal/core"
+	"hged/internal/hypergraph"
+	"hged/internal/multiset"
+)
+
+// signature is the per-graph filter summary: entity counts, label
+// multisets, and the sorted hyperedge-cardinality list.
+type signature struct {
+	n, m       int
+	nodeLabels multiset.Counts
+	edgeLabels multiset.Counts
+	cards      []int // ascending
+	incid      int   // Σ|E|
+}
+
+func signatureOf(g *hypergraph.Hypergraph) signature {
+	s := signature{n: g.NumNodes(), m: g.NumEdges()}
+	nodeLabels := make([]hypergraph.Label, s.n)
+	for v := 0; v < s.n; v++ {
+		nodeLabels[v] = g.NodeLabel(hypergraph.NodeID(v))
+	}
+	s.nodeLabels = multiset.FromLabels(nodeLabels)
+	edgeLabels := make([]hypergraph.Label, 0, s.m)
+	for _, e := range g.Edges() {
+		edgeLabels = append(edgeLabels, e.Label)
+		s.cards = append(s.cards, e.Arity())
+		s.incid += e.Arity()
+	}
+	s.edgeLabels = multiset.FromLabels(edgeLabels)
+	sort.Ints(s.cards)
+	return s
+}
+
+// countFilter is the coarsest bound: editing node and hyperedge counts
+// costs at least their differences (each missing hyperedge additionally
+// costs its cardinality, captured by the cardinality filter).
+func countFilter(a, b signature) int {
+	d := a.n - b.n
+	if d < 0 {
+		d = -d
+	}
+	e := a.m - b.m
+	if e < 0 {
+		e = -e
+	}
+	return d + e
+}
+
+// labelFilter is the Ψ bound of Definition 5 over both label multisets.
+func labelFilter(a, b signature) int {
+	return multiset.Psi(a.nodeLabels, b.nodeLabels) + multiset.Psi(a.edgeLabels, b.edgeLabels)
+}
+
+// cardFilter is the Definition-6 cardinality bound plus the node-count
+// difference (disjoint cost families).
+func cardFilter(a, b signature) int {
+	d := a.n - b.n
+	if d < 0 {
+		d = -d
+	}
+	return d + multiset.CardinalityBound(a.cards, b.cards)
+}
+
+// combinedFilter is the full Strategy-3 bound: label Ψ plus cardinality
+// bound (they charge disjoint operation families).
+func combinedFilter(a, b signature) int {
+	return labelFilter(a, b) + multiset.CardinalityBound(a.cards, b.cards)
+}
+
+// Index is a similarity-search index over a corpus of hypergraphs. Build
+// once with Build; Search and Nearest may be called repeatedly.
+type Index struct {
+	graphs []*hypergraph.Hypergraph
+	sigs   []signature
+	// MaxExpansions caps each verification search (0 = solver default).
+	MaxExpansions int64
+}
+
+// Build indexes the corpus. The graphs are retained by reference and must
+// not be mutated afterwards.
+func Build(graphs []*hypergraph.Hypergraph) *Index {
+	ix := &Index{graphs: graphs, sigs: make([]signature, len(graphs))}
+	for i, g := range graphs {
+		ix.sigs[i] = signatureOf(g)
+	}
+	return ix
+}
+
+// Len returns the corpus size.
+func (ix *Index) Len() int { return len(ix.graphs) }
+
+// Graph returns corpus member i.
+func (ix *Index) Graph(i int) *hypergraph.Hypergraph { return ix.graphs[i] }
+
+// Match is one search result.
+type Match struct {
+	ID       int
+	Distance int
+}
+
+// FilterStats reports how candidates were eliminated during one search.
+type FilterStats struct {
+	Candidates     int // corpus size
+	PrunedByCount  int
+	PrunedByLabel  int
+	PrunedByCard   int
+	Verified       int // exact HGED verifications performed
+	VerifiedWithin int // verifications that ended ≤ τ
+}
+
+// Search returns all corpus members g with HGED(q, g) ≤ tau, ascending by
+// distance then id, along with the filter statistics.
+func (ix *Index) Search(q *hypergraph.Hypergraph, tau int) ([]Match, FilterStats, error) {
+	if tau < 0 {
+		return nil, FilterStats{}, fmt.Errorf("search: negative threshold %d", tau)
+	}
+	qs := signatureOf(q)
+	stats := FilterStats{Candidates: len(ix.graphs)}
+	var out []Match
+	for i, s := range ix.sigs {
+		switch {
+		case countFilter(qs, s) > tau:
+			stats.PrunedByCount++
+			continue
+		case labelFilter(qs, s) > tau:
+			stats.PrunedByLabel++
+			continue
+		case cardFilter(qs, s) > tau:
+			stats.PrunedByCard++
+			continue
+		}
+		stats.Verified++
+		d, within := ix.verify(q, ix.graphs[i], tau)
+		if within {
+			stats.VerifiedWithin++
+			out = append(out, Match{ID: i, Distance: d})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Distance != out[b].Distance {
+			return out[a].Distance < out[b].Distance
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, stats, nil
+}
+
+func (ix *Index) verify(q, g *hypergraph.Hypergraph, tau int) (int, bool) {
+	if tau == 0 {
+		if hypergraph.Isomorphic(q, g) {
+			return 0, true
+		}
+		return 0, false
+	}
+	res := core.BFS(q, g, core.Options{Threshold: tau, MaxExpansions: ix.MaxExpansions})
+	if res.Exceeded {
+		return 0, false
+	}
+	return res.Distance, true
+}
+
+// Nearest returns the k corpus members closest to q by HGED, ascending by
+// distance then id. It expands candidates in lower-bound order and stops
+// once the k-th best verified distance is no larger than the next
+// candidate's bound — each verification runs under the current k-th-best
+// threshold, so the search sharpens as it proceeds.
+func (ix *Index) Nearest(q *hypergraph.Hypergraph, k int) ([]Match, FilterStats, error) {
+	if k <= 0 {
+		return nil, FilterStats{}, fmt.Errorf("search: k = %d, must be > 0", k)
+	}
+	qs := signatureOf(q)
+	stats := FilterStats{Candidates: len(ix.graphs)}
+
+	type cand struct {
+		id    int
+		bound int
+	}
+	cands := make([]cand, len(ix.sigs))
+	for i, s := range ix.sigs {
+		cands[i] = cand{id: i, bound: combinedFilter(qs, s)}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].bound != cands[b].bound {
+			return cands[a].bound < cands[b].bound
+		}
+		return cands[a].id < cands[b].id
+	})
+
+	var best []Match // sorted ascending by distance, capped at k
+	worst := func() int {
+		if len(best) < k {
+			return 1 << 30
+		}
+		return best[len(best)-1].Distance
+	}
+	for _, c := range cands {
+		if c.bound > worst() {
+			break // every later candidate has an even larger bound
+		}
+		tau := worst()
+		var res core.Result
+		if tau >= 1<<30 {
+			res = core.BFS(q, ix.graphs[c.id], core.Options{MaxExpansions: ix.MaxExpansions})
+		} else {
+			res = core.BFS(q, ix.graphs[c.id], core.Options{Threshold: tau, MaxExpansions: ix.MaxExpansions})
+		}
+		stats.Verified++
+		if res.Exceeded {
+			continue
+		}
+		stats.VerifiedWithin++
+		best = append(best, Match{ID: c.id, Distance: res.Distance})
+		sort.Slice(best, func(a, b int) bool {
+			if best[a].Distance != best[b].Distance {
+				return best[a].Distance < best[b].Distance
+			}
+			return best[a].ID < best[b].ID
+		})
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	return best, stats, nil
+}

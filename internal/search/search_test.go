@@ -1,0 +1,164 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hged/internal/core"
+	"hged/internal/gen"
+	"hged/internal/hypergraph"
+)
+
+// corpus builds a deterministic mixed corpus of small hypergraphs.
+func corpus(size int, seed int64) []*hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	graphs := make([]*hypergraph.Hypergraph, size)
+	for i := range graphs {
+		graphs[i] = gen.Uniform(3+rng.Intn(4), rng.Intn(4), 3, 3, 2, rng.Int63()+1)
+	}
+	return graphs
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	graphs := corpus(40, 11)
+	ix := Build(graphs)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		q := gen.Uniform(3+rng.Intn(4), rng.Intn(4), 3, 3, 2, rng.Int63()+1)
+		tau := rng.Intn(8)
+		got, stats, err := ix.Search(q, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force.
+		var want []Match
+		for i, g := range graphs {
+			if d, ok := core.DistanceWithin(q, g, tau); ok {
+				want = append(want, Match{ID: i, Distance: d})
+			}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].Distance != want[b].Distance {
+				return want[a].Distance < want[b].Distance
+			}
+			return want[a].ID < want[b].ID
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (τ=%d): got %d matches, want %d\ngot  %v\nwant %v",
+				trial, tau, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: match %d = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+		if stats.PrunedByCount+stats.PrunedByLabel+stats.PrunedByCard+stats.Verified != stats.Candidates {
+			t.Fatalf("trial %d: stats don't add up: %+v", trial, stats)
+		}
+	}
+}
+
+func TestSearchFiltersPrune(t *testing.T) {
+	graphs := corpus(60, 17)
+	ix := Build(graphs)
+	q := gen.Uniform(4, 2, 3, 3, 2, 999)
+	_, stats, err := ix.Search(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Verified == stats.Candidates {
+		t.Fatalf("filters pruned nothing at τ=2: %+v", stats)
+	}
+}
+
+func TestSearchSelfIsZeroDistanceMatch(t *testing.T) {
+	graphs := corpus(10, 23)
+	ix := Build(graphs)
+	matches, _, err := ix.Search(graphs[4], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.ID == 4 && m.Distance == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("self search must return the graph itself: %v", matches)
+	}
+}
+
+func TestSearchNegativeTau(t *testing.T) {
+	ix := Build(corpus(3, 29))
+	if _, _, err := ix.Search(hypergraph.New(1), -1); err == nil {
+		t.Fatal("negative τ must error")
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	graphs := corpus(30, 31)
+	ix := Build(graphs)
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 6; trial++ {
+		q := gen.Uniform(3+rng.Intn(3), rng.Intn(3), 3, 3, 2, rng.Int63()+1)
+		k := 1 + rng.Intn(5)
+		got, _, err := ix.Nearest(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute-force k smallest distances (ties arbitrary → compare the
+		// distance multiset only).
+		dists := make([]int, len(graphs))
+		for i, g := range graphs {
+			dists[i] = core.Distance(q, g)
+		}
+		sort.Ints(dists)
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), k)
+		}
+		for i := 0; i < k; i++ {
+			if got[i].Distance != dists[i] {
+				t.Fatalf("trial %d: result %d distance %d, want %d (%v vs %v)",
+					trial, i, got[i].Distance, dists[i], got, dists[:k])
+			}
+		}
+		// Verify the reported distances are genuine.
+		for _, m := range got {
+			if d := core.Distance(q, graphs[m.ID]); d != m.Distance {
+				t.Fatalf("trial %d: reported %d but true distance %d", trial, m.Distance, d)
+			}
+		}
+	}
+}
+
+func TestNearestKLargerThanCorpus(t *testing.T) {
+	graphs := corpus(4, 41)
+	ix := Build(graphs)
+	got, _, err := ix.Nearest(graphs[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d results, want the whole corpus", len(got))
+	}
+}
+
+func TestNearestInvalidK(t *testing.T) {
+	ix := Build(corpus(3, 43))
+	if _, _, err := ix.Nearest(hypergraph.New(1), 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+}
+
+func TestIndexAccessors(t *testing.T) {
+	graphs := corpus(5, 47)
+	ix := Build(graphs)
+	if ix.Len() != 5 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if ix.Graph(2) != graphs[2] {
+		t.Fatal("Graph accessor broken")
+	}
+}

@@ -1,0 +1,241 @@
+// Package viz renders hypergraphs and hypergraph edit paths as Graphviz
+// DOT, using the bipartite representation of Fig. 1(b): round nodes for the
+// hypergraph's nodes, boxes for hyperedges, and an undirected edge for each
+// incidence.
+package viz
+
+import (
+	"fmt"
+	"io"
+
+	"hged/internal/core"
+	"hged/internal/hypergraph"
+)
+
+// Options controls rendering. Nil callbacks fall back to numeric names.
+type Options struct {
+	// GraphName is the DOT graph identifier (default "hypergraph").
+	GraphName string
+	// NodeName, EdgeName and LabelName render entities. Optional.
+	NodeName  func(hypergraph.NodeID) string
+	EdgeName  func(hypergraph.EdgeID) string
+	LabelName func(hypergraph.Label) string
+	// Highlight marks a node set (e.g. a predicted hyperedge) with a
+	// doubled border.
+	Highlight []hypergraph.NodeID
+}
+
+func (o *Options) graphName() string {
+	if o != nil && o.GraphName != "" {
+		return o.GraphName
+	}
+	return "hypergraph"
+}
+
+func (o *Options) nodeName(v hypergraph.NodeID) string {
+	if o != nil && o.NodeName != nil {
+		return o.NodeName(v)
+	}
+	return fmt.Sprintf("u%d", v)
+}
+
+func (o *Options) edgeName(e hypergraph.EdgeID) string {
+	if o != nil && o.EdgeName != nil {
+		return o.EdgeName(e)
+	}
+	return fmt.Sprintf("E%d", e)
+}
+
+func (o *Options) labelName(l hypergraph.Label) string {
+	if o != nil && o.LabelName != nil {
+		return o.LabelName(l)
+	}
+	if l == hypergraph.NoLabel {
+		return ""
+	}
+	return fmt.Sprintf("%d", l)
+}
+
+// colorFor assigns a deterministic fill color per label.
+func colorFor(l hypergraph.Label) string {
+	palette := []string{
+		"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+		"#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+	}
+	if l == hypergraph.NoLabel {
+		return "#eeeeee"
+	}
+	return palette[int(l)%len(palette)]
+}
+
+// WriteDOT renders g in the bipartite style.
+func WriteDOT(w io.Writer, g *hypergraph.Hypergraph, opts *Options) error {
+	highlight := make(map[hypergraph.NodeID]bool)
+	if opts != nil {
+		for _, v := range opts.Highlight {
+			highlight[v] = true
+		}
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n  layout=neato;\n  overlap=false;\n", opts.graphName()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := hypergraph.NodeID(v)
+		l := g.NodeLabel(id)
+		peripheries := 1
+		if highlight[id] {
+			peripheries = 2
+		}
+		label := opts.nodeName(id)
+		if ln := opts.labelName(l); ln != "" {
+			label += "\\n" + ln
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [shape=ellipse, style=filled, fillcolor=%q, peripheries=%d, label=%q];\n",
+			v, colorFor(l), peripheries, label); err != nil {
+			return err
+		}
+	}
+	for e, edge := range g.Edges() {
+		label := opts.edgeName(hypergraph.EdgeID(e))
+		if ln := opts.labelName(edge.Label); ln != "" {
+			label += "\\n" + ln
+		}
+		if _, err := fmt.Fprintf(w, "  e%d [shape=box, style=filled, fillcolor=%q, label=%q];\n",
+			e, colorFor(edge.Label), label); err != nil {
+			return err
+		}
+		for _, v := range edge.Nodes {
+			if _, err := fmt.Fprintf(w, "  n%d -- e%d;\n", v, e); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// WriteEditPathDOT renders the source hypergraph with the edit path's
+// operations annotated: entities that will be deleted are drawn dashed and
+// grey, relabeled entities carry a "→ newlabel" suffix, and reductions are
+// drawn as dotted incidences. Inserted entities appear with dashed green
+// borders.
+func WriteEditPathDOT(w io.Writer, g *hypergraph.Hypergraph, path *core.Path, opts *Options) error {
+	// Classify slots by the operations applied to them.
+	nodeDeleted := make(map[int]bool)
+	nodeRelabel := make(map[int]hypergraph.Label)
+	nodeInserted := make(map[int]hypergraph.Label)
+	edgeDeleted := make(map[int]bool)
+	edgeRelabel := make(map[int]hypergraph.Label)
+	edgeInserted := make(map[int]hypergraph.Label)
+	type incidence struct{ node, edge int }
+	reduced := make(map[incidence]bool)
+	extended := make(map[incidence]bool)
+	if path != nil {
+		for _, op := range path.Ops {
+			switch op.Kind {
+			case core.OpNodeDelete:
+				nodeDeleted[op.Node] = true
+			case core.OpNodeRelabel:
+				nodeRelabel[op.Node] = op.Label
+			case core.OpNodeInsert:
+				nodeInserted[op.Node] = op.Label
+			case core.OpEdgeDelete:
+				edgeDeleted[op.Edge] = true
+			case core.OpEdgeRelabel:
+				edgeRelabel[op.Edge] = op.Label
+			case core.OpEdgeInsert:
+				edgeInserted[op.Edge] = op.Label
+			case core.OpEdgeReduce:
+				reduced[incidence{op.Node, op.Edge}] = true
+			case core.OpEdgeExtend:
+				extended[incidence{op.Node, op.Edge}] = true
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "graph %q {\n  layout=neato;\n  overlap=false;\n", opts.graphName()+"-edit"); err != nil {
+		return err
+	}
+	writeNode := func(slot int, l hypergraph.Label, inserted bool) error {
+		label := opts.nodeName(hypergraph.NodeID(slot))
+		if ln := opts.labelName(l); ln != "" {
+			label += "\\n" + ln
+		}
+		style := "filled"
+		color := "black"
+		switch {
+		case nodeDeleted[slot]:
+			style = "filled,dashed"
+			color = "grey"
+		case inserted:
+			style = "filled,dashed"
+			color = "green"
+		}
+		if nl, ok := nodeRelabel[slot]; ok {
+			label += " → " + opts.labelName(nl)
+		}
+		_, err := fmt.Fprintf(w, "  n%d [shape=ellipse, style=%q, color=%q, fillcolor=%q, label=%q];\n",
+			slot, style, color, colorFor(l), label)
+		return err
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if err := writeNode(v, g.NodeLabel(hypergraph.NodeID(v)), false); err != nil {
+			return err
+		}
+	}
+	for slot, l := range nodeInserted {
+		if err := writeNode(slot, l, true); err != nil {
+			return err
+		}
+	}
+	writeEdge := func(slot int, l hypergraph.Label, members []hypergraph.NodeID, inserted bool) error {
+		label := opts.edgeName(hypergraph.EdgeID(slot))
+		if ln := opts.labelName(l); ln != "" {
+			label += "\\n" + ln
+		}
+		if nl, ok := edgeRelabel[slot]; ok {
+			label += " → " + opts.labelName(nl)
+		}
+		style := "filled"
+		color := "black"
+		switch {
+		case edgeDeleted[slot]:
+			style = "filled,dashed"
+			color = "grey"
+		case inserted:
+			style = "filled,dashed"
+			color = "green"
+		}
+		if _, err := fmt.Fprintf(w, "  e%d [shape=box, style=%q, color=%q, fillcolor=%q, label=%q];\n",
+			slot, style, color, colorFor(l), label); err != nil {
+			return err
+		}
+		for _, v := range members {
+			attrs := ""
+			if reduced[incidence{int(v), slot}] {
+				attrs = " [style=dotted, color=grey]"
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -- e%d%s;\n", v, slot, attrs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for e, edge := range g.Edges() {
+		if err := writeEdge(e, edge.Label, edge.Nodes, false); err != nil {
+			return err
+		}
+	}
+	for slot, l := range edgeInserted {
+		if err := writeEdge(slot, l, nil, true); err != nil {
+			return err
+		}
+	}
+	for inc := range extended {
+		if _, err := fmt.Fprintf(w, "  n%d -- e%d [style=dashed, color=green];\n", inc.node, inc.edge); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,105 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hged/internal/core"
+	"hged/internal/hypergraph"
+)
+
+func TestWriteDOTBasics(t *testing.T) {
+	g := hypergraph.Fig1()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph \"hypergraph\" {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("malformed DOT:\n%s", out)
+	}
+	// 8 node declarations, 4 edge boxes, 13 incidences.
+	if got := strings.Count(out, "shape=ellipse"); got != 8 {
+		t.Fatalf("node declarations = %d, want 8", got)
+	}
+	if got := strings.Count(out, "shape=box"); got != 4 {
+		t.Fatalf("edge declarations = %d, want 4", got)
+	}
+	if got := strings.Count(out, " -- "); got != 13 {
+		t.Fatalf("incidences = %d, want 13", got)
+	}
+}
+
+func TestWriteDOTNamersAndHighlight(t *testing.T) {
+	g := hypergraph.New(2)
+	g.AddEdge(5, 0, 1)
+	var buf bytes.Buffer
+	opts := &Options{
+		GraphName: "demo",
+		NodeName:  func(v hypergraph.NodeID) string { return "person" },
+		EdgeName:  func(e hypergraph.EdgeID) string { return "meeting" },
+		LabelName: func(l hypergraph.Label) string { return "topic" },
+		Highlight: []hypergraph.NodeID{1},
+	}
+	if err := WriteDOT(&buf, g, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"\"demo\"", "person", "meeting", "topic", "peripheries=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteEditPathDOT(t *testing.T) {
+	g := hypergraph.Fig1()
+	egoU4, egoU5 := g.Ego(hypergraph.U(4)), g.Ego(hypergraph.U(5))
+	_, path := core.DistanceWithPath(egoU4, egoU5)
+	var buf bytes.Buffer
+	if err := WriteEditPathDOT(&buf, egoU4, path, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The optimal path deletes a node and a hyperedge: both must render
+	// dashed/grey, and reductions dotted.
+	if !strings.Contains(out, "filled,dashed") {
+		t.Fatalf("no dashed deletions in:\n%s", out)
+	}
+	if !strings.Contains(out, "style=dotted") {
+		t.Fatalf("no dotted reductions in:\n%s", out)
+	}
+	if !strings.Contains(out, "→") {
+		t.Fatalf("no relabel annotation in:\n%s", out)
+	}
+}
+
+func TestWriteEditPathDOTWithInsertions(t *testing.T) {
+	empty := hypergraph.New(0)
+	target := hypergraph.NewLabeled([]hypergraph.Label{1, 2})
+	target.AddEdge(7, 0, 1)
+	_, path := core.DistanceWithPath(empty, target)
+	var buf bytes.Buffer
+	if err := WriteEditPathDOT(&buf, empty, path, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "color=\"green\"") {
+		t.Fatalf("insertions should render green:\n%s", out)
+	}
+	if !strings.Contains(out, "style=dashed, color=green") {
+		t.Fatalf("extensions should render dashed green:\n%s", out)
+	}
+}
+
+func TestWriteEditPathDOTNilPath(t *testing.T) {
+	g := hypergraph.New(1)
+	var buf bytes.Buffer
+	if err := WriteEditPathDOT(&buf, g, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "n0") {
+		t.Fatal("nil path should still render the graph")
+	}
+}
