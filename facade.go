@@ -35,6 +35,10 @@ func ReadBenson(nverts, simplices, labels io.Reader) (*Hypergraph, error) {
 	return hgio.ReadBenson(nverts, simplices, labels)
 }
 
+// ReadGraphFile reads a hypergraph from a file, selecting the codec by
+// extension: ".hg" text or ".json" JSON.
+func ReadGraphFile(path string) (*Hypergraph, error) { return hgio.ReadFile(path) }
+
 // Generators (internal/gen).
 type (
 	// GenConfig drives the planted-community hypergraph generator.

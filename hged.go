@@ -167,6 +167,9 @@ type (
 	Explanation = predict.Explanation
 	// PredictAlgorithm selects the HGED solver inside HEP.
 	PredictAlgorithm = predict.Algorithm
+	// PredictStats reports the work a HEP run performed, including the σ
+	// cache counters (computed / hits / in-flight dedups / expansions).
+	PredictStats = predict.Stats
 )
 
 // HEP solver choices.

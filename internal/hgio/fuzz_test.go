@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"hged/internal/hypergraph"
 )
 
 // FuzzReadText checks that arbitrary input never panics the parser and
@@ -38,7 +40,8 @@ func FuzzReadText(f *testing.F) {
 	})
 }
 
-// FuzzReadJSON checks the JSON decoder the same way.
+// FuzzReadJSON checks the JSON decoder the same way, and that anything it
+// accepts survives a write→read round trip unchanged.
 func FuzzReadJSON(f *testing.F) {
 	f.Add(`{"nodeLabels":[1,2],"edges":[{"label":5,"nodes":[0,1]}]}`)
 	f.Add(`{}`)
@@ -50,6 +53,99 @@ func FuzzReadJSON(f *testing.F) {
 		}
 		if verr := g.Validate(); verr != nil {
 			t.Fatalf("accepted an invalid hypergraph: %v\ninput: %q", verr, input)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, g); err != nil {
+			t.Fatalf("cannot re-serialize accepted graph: %v", err)
+		}
+		back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nserialized: %q", err, buf.String())
+		}
+		if g.String() != back.String() {
+			t.Fatalf("round trip changed the graph:\n in: %v\nout: %v", g, back)
+		}
+	})
+}
+
+// graphFromBytes deterministically decodes an arbitrary byte string into a
+// small valid hypergraph, so the round-trip fuzzers below can explore the
+// writer→reader paths from random structures rather than random text. The
+// server accepts untrusted uploads through these codecs, so write-side
+// fidelity matters as much as parse-side robustness.
+func graphFromBytes(data []byte) *hypergraph.Hypergraph {
+	if len(data) == 0 {
+		return hypergraph.New(0)
+	}
+	n := int(data[0]) % 13
+	g := hypergraph.New(n)
+	i := 1
+	for v := 0; v < n && i < len(data); v++ {
+		g.SetNodeLabel(hypergraph.NodeID(v), hypergraph.Label(data[i]%7))
+		i++
+	}
+	for i < len(data) && g.NumEdges() < 24 && n > 0 {
+		label := hypergraph.Label(data[i] % 5)
+		i++
+		size := 0
+		if i < len(data) {
+			size = int(data[i]) % 6
+			i++
+		}
+		nodes := make([]hypergraph.NodeID, 0, size)
+		for k := 0; k < size && i < len(data); k++ {
+			nodes = append(nodes, hypergraph.NodeID(int(data[i])%n))
+			i++
+		}
+		g.AddEdge(label, nodes...)
+	}
+	return g
+}
+
+// FuzzTextRoundTrip checks WriteText→ReadText fidelity on arbitrary
+// generated hypergraphs: every graph the writer emits must be parsed back
+// identically.
+func FuzzTextRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 2, 3, 4, 2, 0, 1})
+	f.Add([]byte{12, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 5, 1, 2, 3, 4, 11})
+	f.Add([]byte{1, 6, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := graphFromBytes(data)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generator produced an invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		back, err := ReadText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadText rejected its own writer's output: %v\n%q", err, buf.String())
+		}
+		if g.String() != back.String() {
+			t.Fatalf("text round trip changed the graph:\n in: %v\nout: %v\nwire: %q", g, back, buf.String())
+		}
+	})
+}
+
+// FuzzJSONRoundTrip checks WriteJSON→ReadJSON fidelity the same way.
+func FuzzJSONRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 2, 3, 4, 2, 0, 1})
+	f.Add([]byte{7, 1, 1, 1, 1, 1, 1, 1, 2, 4, 6, 5, 4, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := graphFromBytes(data)
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, g); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadJSON rejected its own writer's output: %v\n%q", err, buf.String())
+		}
+		if g.String() != back.String() {
+			t.Fatalf("JSON round trip changed the graph:\n in: %v\nout: %v\nwire: %q", g, back, buf.String())
 		}
 	})
 }

@@ -8,11 +8,31 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"hged/internal/hypergraph"
 )
+
+// ReadFile reads a hypergraph from path, selecting the codec by extension:
+// ".hg" is the text format, ".json" the JSON encoding.
+func ReadFile(path string) (*hypergraph.Hypergraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".hg":
+		return ReadText(f)
+	case ".json":
+		return ReadJSON(f)
+	default:
+		return nil, fmt.Errorf("hgio: %s: unknown graph extension (want .hg or .json)", path)
+	}
+}
 
 // WriteText writes g in the .hg format:
 //

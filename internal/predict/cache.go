@@ -1,6 +1,7 @@
 package predict
 
 import (
+	"encoding/binary"
 	"sync"
 
 	"hged/internal/core"
@@ -17,7 +18,9 @@ type PairMetric func(g *hypergraph.Hypergraph, u, v hypergraph.NodeID, budget in
 // Section V. Entries record either an exact distance or a proven lower
 // bound ("> b"), so repeated queries with different budgets reuse earlier
 // work and each (context, pair) is searched at most a handful of times.
-// The cache is safe for concurrent use.
+// The cache is safe for concurrent use; concurrent requests for the same
+// uncached key are deduplicated (singleflight): one goroutine solves while
+// the rest wait for its entry instead of running the identical search.
 type pairCache struct {
 	g      *hypergraph.Hypergraph
 	solver Algorithm
@@ -30,10 +33,15 @@ type pairCache struct {
 	full map[uint64]cacheEntry
 	// ctx memoizes induced-context σ by context key + node pair.
 	ctx map[string]cacheEntry
+	// fullWait and ctxWait register in-flight computations; waiters block
+	// on the channel and then re-read the memo.
+	fullWait map[uint64]chan struct{}
+	ctxWait  map[string]chan struct{}
 	// egos caches full-graph ego networks for Sigma/Explain.
 	egos     map[hypergraph.NodeID]*hypergraph.Hypergraph
 	computed int
 	hits     int
+	deduped  int
 	expanded int64
 }
 
@@ -47,14 +55,16 @@ type cacheEntry struct {
 
 func newPairCache(g *hypergraph.Hypergraph, o Options, metric PairMetric) *pairCache {
 	return &pairCache{
-		g:      g,
-		solver: o.Algorithm,
-		maxEgo: o.MaxEgoNodes,
-		maxExp: o.MaxExpansions,
-		metric: metric,
-		full:   make(map[uint64]cacheEntry),
-		ctx:    make(map[string]cacheEntry),
-		egos:   make(map[hypergraph.NodeID]*hypergraph.Hypergraph),
+		g:        g,
+		solver:   o.Algorithm,
+		maxEgo:   o.MaxEgoNodes,
+		maxExp:   o.MaxExpansions,
+		metric:   metric,
+		full:     make(map[uint64]cacheEntry),
+		ctx:      make(map[string]cacheEntry),
+		fullWait: make(map[uint64]chan struct{}),
+		ctxWait:  make(map[string]chan struct{}),
+		egos:     make(map[hypergraph.NodeID]*hypergraph.Hypergraph),
 	}
 }
 
@@ -65,13 +75,19 @@ func pairKey(u, v hypergraph.NodeID) uint64 {
 	return uint64(uint32(u))<<32 | uint64(uint32(v))
 }
 
+// ctxPairKey builds the memo key for an induced-context σ entry: the
+// canonical context key, a separator, then both node IDs in fixed-width
+// little-endian form. The fixed-width suffix keeps the key unambiguous for
+// any context string and any NodeID width.
 func ctxPairKey(ctx string, u, v hypergraph.NodeID) string {
 	if u > v {
 		u, v = v, u
 	}
-	b := make([]byte, 0, len(ctx)+9)
-	b = append(b, ctx...)
-	b = append(b, '|', byte(u), byte(u>>8), byte(u>>16), byte(u>>24), byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	b := make([]byte, len(ctx)+1+16)
+	copy(b, ctx)
+	b[len(ctx)] = '|'
+	binary.LittleEndian.PutUint64(b[len(ctx)+1:], uint64(int64(u)))
+	binary.LittleEndian.PutUint64(b[len(ctx)+9:], uint64(int64(v)))
 	return string(b)
 }
 
@@ -96,27 +112,47 @@ func (c *pairCache) fullDistance(u, v hypergraph.NodeID, budget int) (int, bool)
 		return c.metric(c.g, u, v, budget)
 	}
 	key := pairKey(u, v)
-	c.mu.Lock()
-	if e, ok := c.full[key]; ok {
-		if d, within, hit := e.answer(budget); hit {
-			c.hits++
+	for {
+		c.mu.Lock()
+		if e, ok := c.full[key]; ok {
+			if d, within, hit := e.answer(budget); hit {
+				c.hits++
+				c.mu.Unlock()
+				return d, within
+			}
+		}
+		wait, inflight := c.fullWait[key]
+		if !inflight {
+			ch := make(chan struct{})
+			c.fullWait[key] = ch
 			c.mu.Unlock()
+
+			eu, ev := c.ego(u), c.ego(v)
+			guarded := c.maxEgo > 0 && (eu.NumNodes() > c.maxEgo || ev.NumNodes() > c.maxEgo)
+			var e cacheEntry
+			if !guarded {
+				e = c.solve(eu, ev, budget)
+			}
+			c.mu.Lock()
+			delete(c.fullWait, key)
+			close(ch)
+			if guarded {
+				c.mu.Unlock()
+				return 0, false
+			}
+			c.computed++
+			c.full[key] = e
+			c.mu.Unlock()
+			d, within, _ := e.answer(budget)
 			return d, within
 		}
+		// Another goroutine is solving this pair: wait for its entry and
+		// re-read. A larger budget than the winner's may still miss, in
+		// which case the loop takes over the computation.
+		c.deduped++
+		c.mu.Unlock()
+		<-wait
 	}
-	c.mu.Unlock()
-
-	eu, ev := c.ego(u), c.ego(v)
-	if c.maxEgo > 0 && (eu.NumNodes() > c.maxEgo || ev.NumNodes() > c.maxEgo) {
-		return 0, false
-	}
-	e := c.solve(eu, ev, budget)
-	c.mu.Lock()
-	c.computed++
-	c.full[key] = e
-	c.mu.Unlock()
-	d, within, _ := e.answer(budget)
-	return d, within
 }
 
 // contextDistance returns σ inside the induced sub-hypergraph sub (whose
@@ -132,23 +168,35 @@ func (c *pairCache) contextDistance(ctxKey string, sub *hypergraph.Hypergraph, u
 		return c.metric(c.g, u, v, budget)
 	}
 	key := ctxPairKey(ctxKey, u, v)
-	c.mu.Lock()
-	if e, ok := c.ctx[key]; ok {
-		if d, within, hit := e.answer(budget); hit {
-			c.hits++
+	for {
+		c.mu.Lock()
+		if e, ok := c.ctx[key]; ok {
+			if d, within, hit := e.answer(budget); hit {
+				c.hits++
+				c.mu.Unlock()
+				return d, within
+			}
+		}
+		wait, inflight := c.ctxWait[key]
+		if !inflight {
+			ch := make(chan struct{})
+			c.ctxWait[key] = ch
 			c.mu.Unlock()
+
+			e := c.solve(sub.Ego(uL), sub.Ego(vL), budget)
+			c.mu.Lock()
+			delete(c.ctxWait, key)
+			close(ch)
+			c.computed++
+			c.ctx[key] = e
+			c.mu.Unlock()
+			d, within, _ := e.answer(budget)
 			return d, within
 		}
+		c.deduped++
+		c.mu.Unlock()
+		<-wait
 	}
-	c.mu.Unlock()
-
-	e := c.solve(sub.Ego(uL), sub.Ego(vL), budget)
-	c.mu.Lock()
-	c.computed++
-	c.ctx[key] = e
-	c.mu.Unlock()
-	d, within, _ := e.answer(budget)
-	return d, within
 }
 
 // solve runs the configured HGED solver with the given threshold and

@@ -1,0 +1,141 @@
+package predict
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hged/internal/hypergraph"
+)
+
+// TestCtxPairKeyCollisionFree checks that distinct (context, pair) inputs
+// never share a memo key: the pair suffix is fixed-width, so a context
+// string can never bleed into the node IDs (the regression the hand-rolled
+// byte packing invited).
+func TestCtxPairKeyCollisionFree(t *testing.T) {
+	type q struct {
+		ctx  string
+		u, v hypergraph.NodeID
+	}
+	queries := []q{
+		{"", 0, 1},
+		{"", 1, 0}, // canonicalized: same as {"", 0, 1}
+		{"", 0, 2},
+		{"", 0, 256},   // ID that spans more than one byte
+		{"", 1, 65536}, // ...and more than two
+		{"a", 0, 1},
+		{"a|", 0, 1}, // separator character inside the context
+		{"ab", 0, 1},
+		{"\x01\x00", 0, 1},
+		{"\x01", 0, 257}, // ctx byte vs ID byte confusion probe
+	}
+	keys := make(map[string]q)
+	for _, x := range queries {
+		k := ctxPairKey(x.ctx, x.u, x.v)
+		prev, seen := keys[k]
+		cu, cv := x.u, x.v
+		if cu > cv {
+			cu, cv = cv, cu
+		}
+		pu, pv := prev.u, prev.v
+		if pu > pv {
+			pu, pv = pv, pu
+		}
+		if seen && !(prev.ctx == x.ctx && pu == cu && pv == cv) {
+			t.Fatalf("key collision: %+v and %+v both map to %q", prev, x, k)
+		}
+		keys[k] = x
+	}
+	if ctxPairKey("c", 3, 9) != ctxPairKey("c", 9, 3) {
+		t.Fatal("ctxPairKey must canonicalize the pair order")
+	}
+}
+
+// TestFullDistanceSingleflight deterministically exercises the in-flight
+// deduplication path: a request for a pair that another goroutine is
+// already solving must wait for that entry instead of recomputing.
+func TestFullDistanceSingleflight(t *testing.T) {
+	g := twoCommunities()
+	c := newPairCache(g, Options{Lambda: 3, Tau: 5, MaxEgoNodes: 64}, nil)
+	key := pairKey(1, 2)
+
+	// Simulate an in-flight computation for (1,2).
+	ch := make(chan struct{})
+	c.mu.Lock()
+	c.fullWait[key] = ch
+	c.mu.Unlock()
+
+	got := make(chan int, 1)
+	go func() {
+		d, _ := c.fullDistance(1, 2, 10)
+		got <- d
+	}()
+
+	// Wait until the second request parks on the in-flight channel.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		deduped := c.deduped
+		c.mu.Unlock()
+		if deduped == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second request never deduplicated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Publish the "winner's" entry and release the waiter.
+	c.mu.Lock()
+	c.full[key] = cacheEntry{Dist: 3, Exact: true}
+	delete(c.fullWait, key)
+	c.mu.Unlock()
+	close(ch)
+
+	if d := <-got; d != 3 {
+		t.Fatalf("waiter read %d, want the published 3", d)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.computed != 0 {
+		t.Fatalf("waiter recomputed (computed = %d), want 0", c.computed)
+	}
+	if c.hits != 1 {
+		t.Fatalf("waiter should have scored a cache hit, hits = %d", c.hits)
+	}
+}
+
+// TestSigmaConcurrentDedup hammers one pair from many goroutines and
+// checks the cache solved it exactly once.
+func TestSigmaConcurrentDedup(t *testing.T) {
+	g := twoCommunities()
+	p, err := New(g, Options{Lambda: 3, Tau: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	dists := make([]int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dists[i], _ = p.Sigma(0, 1, 15)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if dists[i] != dists[0] {
+			t.Fatalf("goroutine %d saw σ = %d, goroutine 0 saw %d", i, dists[i], dists[0])
+		}
+	}
+	st := p.Stats()
+	if st.PairsComputed != 1 {
+		t.Fatalf("one pair requested %d times computed %d times, want 1", goroutines, st.PairsComputed)
+	}
+	if st.PairsCached != goroutines-1 {
+		t.Fatalf("the other %d requests should all end as cache hits, got %d (deduped %d)",
+			goroutines-1, st.PairsCached, st.PairsDeduped)
+	}
+}

@@ -28,6 +28,7 @@
 package predict
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -138,6 +139,7 @@ type Stats struct {
 	Components    int   // candidate sets that survived growth (≥ MinSize)
 	PairsComputed int   // distinct σ computations performed
 	PairsCached   int   // σ lookups answered by the memo
+	PairsDeduped  int   // σ requests that waited for an identical in-flight computation
 	Expanded      int64 // total HGED search states expanded
 }
 
@@ -183,6 +185,7 @@ func (p *Predictor) Stats() Stats {
 	p.cache.mu.Lock()
 	s.PairsComputed = p.cache.computed
 	s.PairsCached = p.cache.hits
+	s.PairsDeduped = p.cache.deduped
 	s.Expanded = p.cache.expanded
 	p.cache.mu.Unlock()
 	return s
@@ -202,10 +205,38 @@ func (p *Predictor) Sigma(u, v hypergraph.NodeID, budget int) (int, bool) {
 // Run executes HEP and returns all predicted (λ,τ)-hyperedges, sorted by
 // their node sets.
 func (p *Predictor) Run() []Prediction {
+	out, _ := p.RunContext(context.Background(), nil)
+	return out
+}
+
+// RunContext executes HEP like Run, additionally honoring a context and
+// reporting progress. The context is checked between seeds: once it is
+// cancelled the run stops promptly (individual σ searches still finish)
+// and ctx.Err() is returned with a nil prediction set. progress, when
+// non-nil, is called once with (0, total) before the first seed and then
+// after each processed seed with the running count; calls are serialized.
+func (p *Predictor) RunContext(ctx context.Context, progress func(done, total int)) ([]Prediction, error) {
 	seeds := p.collectSeeds()
 	p.mu.Lock()
 	p.seeds += len(seeds)
 	p.mu.Unlock()
+
+	total := len(seeds)
+	var progMu sync.Mutex
+	done := 0
+	if progress != nil {
+		progress(0, total)
+	}
+	report := func() {
+		if progress == nil {
+			return
+		}
+		progMu.Lock()
+		done++
+		d := done
+		progMu.Unlock()
+		progress(d, total)
+	}
 
 	workers := p.opts.Parallelism
 	if workers < 1 {
@@ -214,7 +245,11 @@ func (p *Predictor) Run() []Prediction {
 	results := make([][]Prediction, len(seeds))
 	if workers == 1 {
 		for i, s := range seeds {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			results[i] = p.processSeed(s)
+			report()
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -224,15 +259,27 @@ func (p *Predictor) Run() []Prediction {
 			go func() {
 				defer wg.Done()
 				for i := range ch {
+					if ctx.Err() != nil {
+						continue // drain the channel without working
+					}
 					results[i] = p.processSeed(seeds[i])
+					report()
 				}
 			}()
 		}
+	feed:
 		for i := range seeds {
-			ch <- i
+			select {
+			case ch <- i:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(ch)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	existing := make(map[string]struct{}, p.g.NumEdges())
@@ -257,7 +304,7 @@ func (p *Predictor) Run() []Prediction {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return lessNodeSets(out[i].Nodes, out[j].Nodes) })
-	return out
+	return out, nil
 }
 
 // seed is one growth starting point.

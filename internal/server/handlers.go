@@ -1,0 +1,551 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"hged"
+)
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON decodes the request body into v with a size cap and strict
+// field checking, replying 400 itself on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// graphOr404 resolves the {name} path value, replying 404 when unknown.
+func (s *Server) graphOr404(w http.ResponseWriter, r *http.Request) (*GraphEntry, bool) {
+	name := r.PathValue("name")
+	e, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+	}
+	return e, ok
+}
+
+// parseAlgorithm maps a wire name to a HEP solver choice.
+func parseAlgorithm(name string) (hged.PredictAlgorithm, error) {
+	switch strings.ToLower(name) {
+	case "", "bfs":
+		return hged.AlgBFS, nil
+	case "dfs":
+		return hged.AlgDFS, nil
+	case "heu":
+		return hged.AlgHEU, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want bfs, dfs or heu)", name)
+}
+
+// capExpansions clamps a client-requested expansion budget to the server
+// cap (0 selects the cap itself).
+func (s *Server) capExpansions(req int64) int64 {
+	if req <= 0 || req > s.cfg.MaxSyncExpansions {
+		return s.cfg.MaxSyncExpansions
+	}
+	return req
+}
+
+// --- graphs ---
+
+type graphSummary struct {
+	Name   string `json:"name"`
+	Nodes  int    `json:"nodes"`
+	Edges  int    `json:"edges"`
+	Source string `json:"source"`
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.List()
+	out := make([]graphSummary, len(entries))
+	for i, e := range entries {
+		out[i] = graphSummary{Name: e.Name, Nodes: e.Stats.Nodes, Edges: e.Stats.Edges, Source: e.Source}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
+}
+
+type uploadRequest struct {
+	Name   string `json:"name"`
+	Format string `json:"format"` // hg | json | benson
+	Data   string `json:"data"`
+	// Benson-format uploads carry the three streams separately.
+	Nverts    string `json:"nverts,omitempty"`
+	Simplices string `json:"simplices,omitempty"`
+	Labels    string `json:"labels,omitempty"`
+}
+
+func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
+	var req uploadRequest
+	if !decodeJSON(w, r, s.cfg.MaxUploadBytes, &req) {
+		return
+	}
+	var (
+		g   *hged.Hypergraph
+		err error
+	)
+	switch strings.ToLower(req.Format) {
+	case "hg", "":
+		g, err = hged.ReadHG(strings.NewReader(req.Data))
+	case "json":
+		g, err = hged.ReadJSON(strings.NewReader(req.Data))
+	case "benson":
+		var labels io.Reader
+		if req.Labels != "" {
+			labels = strings.NewReader(req.Labels)
+		}
+		g, err = hged.ReadBenson(strings.NewReader(req.Nverts), strings.NewReader(req.Simplices), labels)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want hg, json or benson)", req.Format)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse graph: %v", err)
+		return
+	}
+	entry, err := s.reg.Add(req.Name, g, "upload")
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already loaded") {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": entry.Name, "stats": entry.Stats})
+}
+
+func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.graphOr404(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": e.Name, "source": e.Source, "stats": e.Stats})
+}
+
+// --- distance ---
+
+type costsRequest struct {
+	Node        int `json:"node"`
+	Edge        int `json:"edge"`
+	Incidence   int `json:"incidence"`
+	NodeRelabel int `json:"nodeRelabel"`
+	EdgeRelabel int `json:"edgeRelabel"`
+}
+
+type distanceRequest struct {
+	U             int           `json:"u"`
+	V             int           `json:"v"`
+	Tau           int           `json:"tau"`           // > 0 enables threshold verification
+	Solver        string        `json:"solver"`        // bfs | dfs | heu
+	Explain       bool          `json:"explain"`       // include the edit-path explanation
+	MaxExpansions int64         `json:"maxExpansions"` // clamped to the server cap
+	Costs         *costsRequest `json:"costs"`
+}
+
+type distanceResponse struct {
+	U           int             `json:"u"`
+	V           int             `json:"v"`
+	Distance    int             `json:"distance"`
+	Within      *bool           `json:"within,omitempty"` // present when tau > 0
+	Exact       bool            `json:"exact"`
+	Exceeded    bool            `json:"exceeded"`
+	Expanded    int64           `json:"expanded"`
+	Explanation []string        `json:"explanation,omitempty"`
+	Ops         json.RawMessage `json:"ops,omitempty"`
+}
+
+// handleDistance computes the node-similar distance σ(u, v) — the HGED
+// between the two nodes' ego networks (Problem 1) — with the solver,
+// threshold and cost model chosen per request, optionally explained by an
+// optimal edit path.
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.graphOr404(w, r)
+	if !ok {
+		return
+	}
+	var req distanceRequest
+	if !decodeJSON(w, r, 1<<20, &req) {
+		return
+	}
+	n := e.Graph.NumNodes()
+	if req.U < 0 || req.U >= n || req.V < 0 || req.V >= n {
+		writeError(w, http.StatusBadRequest, "node pair (%d, %d) out of range [0, %d)", req.U, req.V, n)
+		return
+	}
+	if req.Tau < 0 {
+		writeError(w, http.StatusBadRequest, "tau = %d, must be ≥ 0", req.Tau)
+		return
+	}
+	opts := hged.Options{Threshold: req.Tau, MaxExpansions: s.capExpansions(req.MaxExpansions)}
+	if req.Costs != nil {
+		cm := hged.CostModel{
+			Node:        req.Costs.Node,
+			Edge:        req.Costs.Edge,
+			Incidence:   req.Costs.Incidence,
+			NodeRelabel: req.Costs.NodeRelabel,
+			EdgeRelabel: req.Costs.EdgeRelabel,
+		}
+		if err := cm.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		opts.Costs = &cm
+	}
+	eu, ev := e.Graph.Ego(hged.NodeID(req.U)), e.Graph.Ego(hged.NodeID(req.V))
+	var res hged.Result
+	switch strings.ToLower(req.Solver) {
+	case "", "bfs":
+		res = hged.BFS(eu, ev, opts)
+	case "dfs":
+		res = hged.DFS(eu, ev, opts)
+	case "heu":
+		res = hged.HEU(eu, ev, opts)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown solver %q (want bfs, dfs or heu)", req.Solver)
+		return
+	}
+	s.metrics.addExpansions(res.Expanded)
+
+	resp := distanceResponse{
+		U: req.U, V: req.V,
+		Distance: res.Distance,
+		Exact:    res.Exact,
+		Exceeded: res.Exceeded,
+		Expanded: res.Expanded,
+	}
+	if req.Tau > 0 {
+		within := !res.Exceeded
+		resp.Within = &within
+	}
+	if req.Explain && res.Path != nil {
+		namer := &hged.Namer{
+			Node: func(slot int) string {
+				if slot < eu.NumNodes() {
+					return fmt.Sprintf("node %d", eu.OrigID(hged.NodeID(slot)))
+				}
+				return fmt.Sprintf("new node #%d", slot)
+			},
+			Edge: func(slot int) string {
+				if slot < eu.NumEdges() {
+					return fmt.Sprintf("hyperedge #%d", slot)
+				}
+				return fmt.Sprintf("new hyperedge #%d", slot)
+			},
+		}
+		resp.Explanation = hged.Explain(res.Path, namer)
+		var buf bytes.Buffer
+		if err := hged.WritePathJSON(&buf, res.Path); err == nil {
+			resp.Ops = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- sigma ---
+
+type sigmaRequest struct {
+	Pairs         [][2]int `json:"pairs"`
+	Budget        int      `json:"budget"` // defaults to 15 (λ=3 · τ=5)
+	Solver        string   `json:"solver"`
+	MaxExpansions int64    `json:"maxExpansions"`
+}
+
+type sigmaResult struct {
+	U        int  `json:"u"`
+	V        int  `json:"v"`
+	Distance int  `json:"distance"`
+	Within   bool `json:"within"`
+}
+
+// handleSigma answers batched σ(u, v) queries through the graph's
+// persistent memoizing predictor: repeated and concurrent queries share
+// one on-demand HGED cache.
+func (s *Server) handleSigma(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.graphOr404(w, r)
+	if !ok {
+		return
+	}
+	var req sigmaRequest
+	if !decodeJSON(w, r, 1<<20, &req) {
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeError(w, http.StatusBadRequest, "pairs must not be empty")
+		return
+	}
+	if len(req.Pairs) > 10_000 {
+		writeError(w, http.StatusBadRequest, "too many pairs (%d > 10000)", len(req.Pairs))
+		return
+	}
+	if req.Budget == 0 {
+		req.Budget = 15
+	}
+	if req.Budget < 0 {
+		writeError(w, http.StatusBadRequest, "budget = %d, must be > 0", req.Budget)
+		return
+	}
+	alg, err := parseAlgorithm(req.Solver)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n := e.Graph.NumNodes()
+	for _, p := range req.Pairs {
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+			writeError(w, http.StatusBadRequest, "node pair (%d, %d) out of range [0, %d)", p[0], p[1], n)
+			return
+		}
+	}
+	pred, err := e.sigmaPredictor(alg, s.capExpansions(req.MaxExpansions))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	results := make([]sigmaResult, len(req.Pairs))
+	for i, p := range req.Pairs {
+		d, within := pred.Sigma(hged.NodeID(p[0]), hged.NodeID(p[1]), req.Budget)
+		results[i] = sigmaResult{U: p[0], V: p[1], Distance: d, Within: within}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results": results,
+		"cache":   pred.Stats(), // cumulative for this graph's σ cache
+	})
+}
+
+// --- search ---
+
+type searchQuery struct {
+	Name   string `json:"name,omitempty"` // a loaded graph...
+	Format string `json:"format,omitempty"`
+	Data   string `json:"data,omitempty"` // ...or an inline one
+}
+
+type searchRequest struct {
+	Query         searchQuery `json:"query"`
+	Tau           int         `json:"tau,omitempty"` // range search when > 0 or K == 0
+	K             int         `json:"k,omitempty"`   // kNN when > 0
+	MaxExpansions int64       `json:"maxExpansions"`
+}
+
+type searchMatch struct {
+	Name     string `json:"name"`
+	Distance int    `json:"distance"`
+}
+
+// searchIndex lazily (re)builds the similarity-search index over the
+// registry corpus, keyed by the registry version.
+type searchIndex struct {
+	mu      sync.Mutex
+	version int64
+	names   []string
+	ix      *hged.SearchIndex
+}
+
+func (s *Server) corpusIndex() (*hged.SearchIndex, []string) {
+	s.search.mu.Lock()
+	defer s.search.mu.Unlock()
+	if v := s.reg.Version(); s.search.ix == nil || s.search.version != v {
+		entries := s.reg.List()
+		graphs := make([]*hged.Hypergraph, len(entries))
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			graphs[i] = e.Graph
+			names[i] = e.Name
+		}
+		s.search.ix = hged.BuildSearchIndex(graphs)
+		s.search.names = names
+		s.search.version = v
+	}
+	return s.search.ix, s.search.names
+}
+
+// handleSearch runs a range (τ) or kNN similarity search of the query
+// graph against the corpus of all loaded graphs.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if !decodeJSON(w, r, s.cfg.MaxUploadBytes, &req) {
+		return
+	}
+	var q *hged.Hypergraph
+	switch {
+	case req.Query.Name != "":
+		e, ok := s.reg.Get(req.Query.Name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown query graph %q", req.Query.Name)
+			return
+		}
+		q = e.Graph
+	case req.Query.Data != "":
+		var err error
+		switch strings.ToLower(req.Query.Format) {
+		case "hg", "":
+			q, err = hged.ReadHG(strings.NewReader(req.Query.Data))
+		case "json":
+			q, err = hged.ReadJSON(strings.NewReader(req.Query.Data))
+		default:
+			writeError(w, http.StatusBadRequest, "unknown query format %q", req.Query.Format)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parse query graph: %v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "query needs a graph name or inline data")
+		return
+	}
+	shared, names := s.corpusIndex()
+	// Shallow-copy the index so the per-request expansion cap never races
+	// with concurrent searches; the corpus slices are shared read-only.
+	ix := *shared
+	ix.MaxExpansions = s.capExpansions(req.MaxExpansions)
+	var (
+		matches []hged.SearchMatch
+		stats   hged.FilterStats
+		err     error
+	)
+	if req.K > 0 {
+		matches, stats, err = ix.Nearest(q, req.K)
+	} else {
+		matches, stats, err = ix.Search(q, req.Tau)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]searchMatch, len(matches))
+	for i, m := range matches {
+		out[i] = searchMatch{Name: names[m.ID], Distance: m.Distance}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matches": out, "stats": stats})
+}
+
+// --- jobs ---
+
+type predictRequest struct {
+	Lambda          int    `json:"lambda"`
+	Tau             int    `json:"tau"`
+	Algorithm       string `json:"algorithm"`
+	Parallelism     int    `json:"parallelism"`
+	MinSize         int    `json:"minSize"`
+	MaxSize         int    `json:"maxSize"`
+	MaxExpansions   int64  `json:"maxExpansions"`
+	IncludeExisting bool   `json:"includeExisting"`
+	TimeoutSeconds  int    `json:"timeoutSeconds"`
+}
+
+// handlePredict enqueues an asynchronous HEP prediction run and returns
+// its job ID; poll GET /v1/jobs/{id} for progress and results.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.graphOr404(w, r)
+	if !ok {
+		return
+	}
+	var req predictRequest
+	if !decodeJSON(w, r, 1<<20, &req) {
+		return
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := hged.PredictOptions{
+		Lambda:          req.Lambda,
+		Tau:             req.Tau,
+		Algorithm:       alg,
+		Parallelism:     req.Parallelism,
+		MinSize:         req.MinSize,
+		MaxSize:         req.MaxSize,
+		MaxExpansions:   req.MaxExpansions,
+		IncludeExisting: req.IncludeExisting,
+	}
+	if _, err := opts.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.TimeoutSeconds < 0 {
+		writeError(w, http.StatusBadRequest, "timeoutSeconds must be ≥ 0")
+		return
+	}
+	job, err := s.jobs.Submit(e.Name, opts, time.Duration(req.TimeoutSeconds)*time.Second)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": job.ID, "state": job.State()})
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.List()
+	out := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.View()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+// handleCancelJob requests cancellation; the job transitions to
+// "cancelled" when the run observes it (at the next seed boundary).
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": job.ID, "state": job.State()})
+}
+
+// --- operational ---
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.reg, s.jobs))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "graphs": s.reg.Len()})
+}

@@ -1,0 +1,225 @@
+package server_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+
+	"hged"
+	"hged/internal/server"
+)
+
+// bigGraph is slow enough (~1s sequential, ~500 seed boundaries) that a
+// cancellation request reliably lands while the job is running.
+func bigGraph(t *testing.T) *hged.Hypergraph {
+	t.Helper()
+	g, _, err := hged.GeneratePlanted(hged.GenConfig{Nodes: 500, Edges: 800, Seed: 3, NodeLabelCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func pollJob(t *testing.T, env *testEnv, id string, want func(state string) bool, deadline time.Duration) string {
+	t.Helper()
+	var job struct {
+		State      string `json:"state"`
+		SeedsDone  int    `json:"seedsDone"`
+		SeedsTotal int    `json:"seedsTotal"`
+	}
+	stop := time.Now().Add(deadline)
+	for {
+		if code := env.do("GET", "/v1/jobs/"+id, nil, &job); code != 200 {
+			t.Fatalf("poll %s status %d", id, code)
+		}
+		if want(job.State) {
+			return job.State
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("job %s stuck in %q (%d/%d)", id, job.State, job.SeedsDone, job.SeedsTotal)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "cancelled"
+}
+
+// TestJobCancellation cancels one running and one queued job and observes
+// both reach the cancelled state, with the running one stopped mid-run.
+func TestJobCancellation(t *testing.T) {
+	env := newTestEnv(t, server.Config{Workers: 1, QueueDepth: 4})
+	if _, err := env.srv.Registry().Add("big", bigGraph(t), "builtin"); err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b struct {
+		ID string `json:"id"`
+	}
+	body := map[string]any{"lambda": 3, "tau": 7}
+	if code := env.do("POST", "/v1/graphs/big/predict", body, &a); code != 202 {
+		t.Fatalf("submit A status %d", code)
+	}
+	// With one worker the second job stays queued behind the first.
+	if code := env.do("POST", "/v1/graphs/big/predict", body, &b); code != 202 {
+		t.Fatalf("submit B status %d", code)
+	}
+	pollJob(t, env, a.ID, func(s string) bool { return s == "running" }, 30*time.Second)
+
+	if code := env.do("DELETE", "/v1/jobs/"+b.ID, nil, nil); code != 202 {
+		t.Fatalf("cancel B status %d", code)
+	}
+	if code := env.do("DELETE", "/v1/jobs/"+a.ID, nil, nil); code != 202 {
+		t.Fatalf("cancel A status %d", code)
+	}
+	if st := pollJob(t, env, a.ID, terminal, 30*time.Second); st != "cancelled" {
+		t.Fatalf("job A ended %q, want cancelled", st)
+	}
+	if st := pollJob(t, env, b.ID, terminal, 30*time.Second); st != "cancelled" {
+		t.Fatalf("job B ended %q, want cancelled", st)
+	}
+
+	// The running job must have stopped before finishing its seeds.
+	var av struct {
+		SeedsDone  int `json:"seedsDone"`
+		SeedsTotal int `json:"seedsTotal"`
+	}
+	env.do("GET", "/v1/jobs/"+a.ID, nil, &av)
+	if av.SeedsTotal == 0 || av.SeedsDone >= av.SeedsTotal {
+		t.Fatalf("job A ran to completion (%d/%d) despite cancellation", av.SeedsDone, av.SeedsTotal)
+	}
+
+	var metrics struct {
+		Jobs struct {
+			Submitted int64 `json:"submitted"`
+			Cancelled int64 `json:"cancelled"`
+		} `json:"jobs"`
+	}
+	if code := env.do("GET", "/metrics", nil, &metrics); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if metrics.Jobs.Submitted != 2 || metrics.Jobs.Cancelled != 2 {
+		t.Fatalf("job counters = %+v", metrics.Jobs)
+	}
+}
+
+func TestJobQueueFull(t *testing.T) {
+	env := newTestEnv(t, server.Config{Workers: 1, QueueDepth: 1})
+	if _, err := env.srv.Registry().Add("big", bigGraph(t), "builtin"); err != nil {
+		t.Fatal(err)
+	}
+	var a struct {
+		ID string `json:"id"`
+	}
+	body := map[string]any{"lambda": 3, "tau": 7}
+	if code := env.do("POST", "/v1/graphs/big/predict", body, &a); code != 202 {
+		t.Fatalf("submit A status %d", code)
+	}
+	pollJob(t, env, a.ID, func(s string) bool { return s == "running" }, 30*time.Second)
+	// A is running, so B occupies the single queue slot and C is rejected.
+	if code := env.do("POST", "/v1/graphs/big/predict", body, nil); code != 202 {
+		t.Fatal("submit B should queue")
+	}
+	if code := env.do("POST", "/v1/graphs/big/predict", body, nil); code != 429 {
+		t.Fatalf("submit C status %d, want 429", code)
+	}
+}
+
+// goroutineSettle waits for the goroutine count to drop back to the
+// baseline (plus slack for runtime helpers), dumping stacks on failure.
+func goroutineSettle(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			var sb strings.Builder
+			_ = pprof.Lookup("goroutine").WriteTo(&sb, 1)
+			t.Fatalf("goroutines leaked: %d > base %d\n%s", runtime.NumGoroutine(), base, sb.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestGracefulShutdownDrains is the SIGTERM path: Close waits for the
+// in-flight job to finish, further submissions are refused, and no worker
+// goroutines are left behind.
+func TestGracefulShutdownDrains(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := server.New(server.Config{Workers: 2})
+	g, _, err := hged.GeneratePlanted(hged.GenConfig{Nodes: 40, Edges: 60, Seed: 5, NodeLabelCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Registry().Add("planted", g, "builtin"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	job, err := s.Jobs().Submit("planted", hged.PredictOptions{Lambda: 2, Tau: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	select {
+	case <-job.Done():
+	default:
+		t.Fatal("Close returned before the job finished")
+	}
+	if st := job.State(); st != server.JobDone {
+		t.Fatalf("job drained to %q, want done", st)
+	}
+	if _, err := s.Jobs().Submit("planted", hged.PredictOptions{Lambda: 2, Tau: 3}, 0); err != server.ErrDraining {
+		t.Fatalf("post-close submit error = %v, want ErrDraining", err)
+	}
+	ts.Close()
+	goroutineSettle(t, base)
+}
+
+// TestShutdownCancelsPastDeadline: when the drain deadline expires with a
+// job still running, Close cancels it and still exits cleanly.
+func TestShutdownCancelsPastDeadline(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := server.New(server.Config{Workers: 1})
+	if _, err := s.Registry().Add("big", bigGraph(t), "builtin"); err != nil {
+		t.Fatal(err)
+	}
+	job, err := s.Jobs().Submit("big", hged.PredictOptions{Lambda: 3, Tau: 7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until it is actually running so the drain deadline is the thing
+	// that interrupts it.
+	for deadline := time.Now().Add(30 * time.Second); job.State() != server.JobRunning; {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", job.State())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Close(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Close error = %v, want deadline exceeded", err)
+	}
+	// Close waited for the workers, so the job is terminal.
+	select {
+	case <-job.Done():
+	default:
+		t.Fatal("Close returned with the job still in flight")
+	}
+	if st := job.State(); st != server.JobCancelled {
+		t.Fatalf("job ended %q, want cancelled", st)
+	}
+	goroutineSettle(t, base)
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"hged"
+)
+
+// latencyBounds are the histogram bucket upper bounds in milliseconds; the
+// final implicit bucket is +Inf.
+var latencyBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	Counts []int64 `json:"counts"` // len(latencyBounds)+1, last is +Inf
+	SumMS  float64 `json:"sumMs"`
+	Count  int64   `json:"count"`
+}
+
+func newHistogram() *histogram {
+	return &histogram{Counts: make([]int64, len(latencyBounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBounds) && ms > latencyBounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.SumMS += ms
+	h.Count++
+}
+
+// endpointMetrics aggregates one route's traffic.
+type endpointMetrics struct {
+	Status  map[int]int64 `json:"status"`
+	Latency *histogram    `json:"latency"`
+}
+
+// Metrics collects the server's expvar-style counters: requests by
+// endpoint and status, latency histograms, HGED solver expansions, σ-cache
+// activity, and job lifecycle counts. All methods are safe for concurrent
+// use.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+
+	expansions int64 // solver expansions from synchronous distance queries
+
+	// job-side totals, accumulated when jobs finish
+	jobsSubmitted int64
+	jobsDone      int64
+	jobsFailed    int64
+	jobsCancelled int64
+	jobComputed   int64
+	jobHits       int64
+	jobDeduped    int64
+	jobExpanded   int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpointMetrics)}
+}
+
+func (m *Metrics) observe(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em, ok := m.endpoints[endpoint]
+	if !ok {
+		em = &endpointMetrics{Status: make(map[int]int64), Latency: newHistogram()}
+		m.endpoints[endpoint] = em
+	}
+	em.Status[status]++
+	em.Latency.observe(d)
+}
+
+func (m *Metrics) addExpansions(n int64) {
+	m.mu.Lock()
+	m.expansions += n
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobSubmitted() {
+	m.mu.Lock()
+	m.jobsSubmitted++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobFinished(state JobState, st hged.PredictStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch state {
+	case JobDone:
+		m.jobsDone++
+	case JobFailed:
+		m.jobsFailed++
+	case JobCancelled:
+		m.jobsCancelled++
+	}
+	m.jobComputed += int64(st.PairsComputed)
+	m.jobHits += int64(st.PairsCached)
+	m.jobDeduped += int64(st.PairsDeduped)
+	m.jobExpanded += int64(st.Expanded)
+}
+
+// MetricsSnapshot is the JSON shape served by GET /metrics.
+type MetricsSnapshot struct {
+	// Requests maps "METHOD /pattern" to per-status counts and latency.
+	Requests map[string]*endpointMetrics `json:"requests"`
+	// HGED aggregates solver effort from synchronous distance queries.
+	HGED struct {
+		Expansions int64 `json:"expansions"`
+	} `json:"hged"`
+	// SigmaCache sums the σ-cache counters of every live per-graph
+	// predictor (sigma endpoint) plus all finished jobs.
+	SigmaCache struct {
+		Computed int64 `json:"computed"`
+		Hits     int64 `json:"hits"`
+		Deduped  int64 `json:"deduped"`
+		Expanded int64 `json:"expanded"`
+	} `json:"sigmaCache"`
+	Jobs struct {
+		Submitted int64 `json:"submitted"`
+		Done      int64 `json:"done"`
+		Failed    int64 `json:"failed"`
+		Cancelled int64 `json:"cancelled"`
+		Queued    int   `json:"queued"`
+		Running   int   `json:"running"`
+	} `json:"jobs"`
+}
+
+// snapshot merges the counter state with the registry's live σ caches and
+// the job manager's queue gauges. Maps are deep-copied so the caller can
+// marshal without racing further updates.
+func (m *Metrics) snapshot(reg *Registry, jobs *JobManager) MetricsSnapshot {
+	snap := MetricsSnapshot{Requests: make(map[string]*endpointMetrics)}
+
+	m.mu.Lock()
+	for k, em := range m.endpoints {
+		cp := &endpointMetrics{Status: make(map[int]int64, len(em.Status)), Latency: newHistogram()}
+		for s, c := range em.Status {
+			cp.Status[s] = c
+		}
+		copy(cp.Latency.Counts, em.Latency.Counts)
+		cp.Latency.SumMS, cp.Latency.Count = em.Latency.SumMS, em.Latency.Count
+		snap.Requests[k] = cp
+	}
+	snap.HGED.Expansions = m.expansions
+	snap.SigmaCache.Computed = m.jobComputed
+	snap.SigmaCache.Hits = m.jobHits
+	snap.SigmaCache.Deduped = m.jobDeduped
+	snap.SigmaCache.Expanded = m.jobExpanded
+	snap.Jobs.Submitted = m.jobsSubmitted
+	snap.Jobs.Done = m.jobsDone
+	snap.Jobs.Failed = m.jobsFailed
+	snap.Jobs.Cancelled = m.jobsCancelled
+	m.mu.Unlock()
+
+	if reg != nil {
+		live := reg.cacheTotals()
+		snap.SigmaCache.Computed += int64(live.PairsComputed)
+		snap.SigmaCache.Hits += int64(live.PairsCached)
+		snap.SigmaCache.Deduped += int64(live.PairsDeduped)
+		snap.SigmaCache.Expanded += int64(live.Expanded)
+	}
+	if jobs != nil {
+		snap.Jobs.Queued, snap.Jobs.Running = jobs.gauges()
+	}
+	return snap
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hged"
+)
+
+// GraphEntry is one named, immutably-loaded hypergraph in the registry,
+// together with its precomputed stats and lazily-built σ predictors (the
+// per-graph on-demand HGED caches behind the sigma endpoint).
+type GraphEntry struct {
+	Name     string
+	Graph    *hged.Hypergraph
+	Stats    hged.Stats
+	Source   string // file path, "upload", or "builtin"
+	LoadedAt time.Time
+
+	mu    sync.Mutex
+	sigma map[string]*hged.Predictor
+}
+
+// sigmaPredictor returns the entry's memoizing σ predictor for the given
+// solver and expansion cap, creating it on first use. Predictors persist
+// for the life of the entry, so repeated sigma queries share one cache.
+func (e *GraphEntry) sigmaPredictor(alg hged.PredictAlgorithm, maxExp int64) (*hged.Predictor, error) {
+	key := fmt.Sprintf("%d|%d", alg, maxExp)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.sigma[key]; ok {
+		return p, nil
+	}
+	p, err := hged.NewPredictor(e.Graph, hged.PredictOptions{Algorithm: alg, MaxExpansions: maxExp})
+	if err != nil {
+		return nil, err
+	}
+	e.sigma[key] = p
+	return p, nil
+}
+
+// cacheStats sums the σ-cache counters across the entry's predictors.
+func (e *GraphEntry) cacheStats() hged.PredictStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var total hged.PredictStats
+	for _, p := range e.sigma {
+		st := p.Stats()
+		total.PairsComputed += st.PairsComputed
+		total.PairsCached += st.PairsCached
+		total.PairsDeduped += st.PairsDeduped
+		total.Expanded += st.Expanded
+	}
+	return total
+}
+
+// Registry holds the server's named hypergraphs. Graphs are immutable once
+// added; the registry itself is safe for concurrent use. The version
+// counter increments on every mutation so derived structures (the search
+// index) know when to rebuild.
+type Registry struct {
+	mu      sync.RWMutex
+	graphs  map[string]*GraphEntry
+	version int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{graphs: make(map[string]*GraphEntry)}
+}
+
+// validName rejects names that would not round-trip through URL paths.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("graph name must not be empty")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("graph name longer than 128 bytes")
+	}
+	if strings.ContainsAny(name, "/ \t\n") {
+		return fmt.Errorf("graph name %q must not contain slashes or whitespace", name)
+	}
+	return nil
+}
+
+// Add registers g under name. The graph must not be mutated afterwards.
+func (r *Registry) Add(name string, g *hged.Hypergraph, source string) (*GraphEntry, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph %q: %w", name, err)
+	}
+	e := &GraphEntry{
+		Name:     name,
+		Graph:    g,
+		Stats:    hged.Summarize(g),
+		Source:   source,
+		LoadedAt: time.Now(),
+		sigma:    make(map[string]*hged.Predictor),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.graphs[name]; dup {
+		return nil, fmt.Errorf("graph %q already loaded", name)
+	}
+	r.graphs[name] = e
+	r.version++
+	return e, nil
+}
+
+// LoadFile reads a graph file (.hg or .json) and registers it under name.
+func (r *Registry) LoadFile(name, path string) (*GraphEntry, error) {
+	g, err := hged.ReadGraphFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return r.Add(name, g, path)
+}
+
+// Get returns the entry for name.
+func (r *Registry) Get(name string) (*GraphEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.graphs[name]
+	return e, ok
+}
+
+// List returns all entries sorted by name.
+func (r *Registry) List() []*GraphEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*GraphEntry, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of loaded graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.graphs)
+}
+
+// Version returns the mutation counter.
+func (r *Registry) Version() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// cacheTotals sums σ-cache counters across every entry's predictors.
+func (r *Registry) cacheTotals() hged.PredictStats {
+	var total hged.PredictStats
+	for _, e := range r.List() {
+		st := e.cacheStats()
+		total.PairsComputed += st.PairsComputed
+		total.PairsCached += st.PairsCached
+		total.PairsDeduped += st.PairsDeduped
+		total.Expanded += st.Expanded
+	}
+	return total
+}
