@@ -1,0 +1,439 @@
+// Command bench runs the tracked solver/predict/search benchmark suite on
+// seeded planted-community hypergraphs and writes a BENCH_<n>.json snapshot
+// (ns/op, bytes/op, allocs/op, solver expansions) that is comparable across
+// PRs. The workloads are deterministic — fixed generator seeds, fixed node
+// picks — so two snapshots differ only by the code under test.
+//
+// Usage:
+//
+//	bench [-o BENCH_2.json] [-benchtime 1s] [-quick] [-bench regexp]
+//	bench -compare BENCH_0.json BENCH_1.json [-fail-over 5]
+//	bench -validate BENCH_1.json
+//
+// With no -o the snapshot goes to the next unused BENCH_<n>.json in the
+// working directory. -quick runs every benchmark exactly once (schema smoke
+// for CI); -compare prints a delta table between two snapshots and, with
+// -fail-over, exits 1 when any shared benchmark slowed down by more than the
+// given percentage; -validate checks a snapshot against the schema.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"hged"
+	"hged/internal/core"
+	"hged/internal/gen"
+	"hged/internal/predict"
+	"hged/internal/search"
+)
+
+// Schema identifies the snapshot format; bump on incompatible changes.
+const Schema = "hged-bench/v1"
+
+// Snapshot is the JSON shape of a BENCH_<n>.json file.
+type Snapshot struct {
+	Schema     string      `json:"schema"`
+	CreatedAt  string      `json:"createdAt"`
+	GoVersion  string      `json:"goVersion"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	MaxProcs   int         `json:"maxProcs"`
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []BenchLine `json:"benchmarks"`
+}
+
+// BenchLine is one benchmark's measurement.
+type BenchLine struct {
+	Name        string             `json:"name"`
+	N           int                `json:"n"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  int64              `json:"bytesPerOp"`
+	AllocsPerOp int64              `json:"allocsPerOp"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("o", "", "output snapshot path (default: next unused BENCH_<n>.json)")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark measuring time (Go benchtime syntax, e.g. 1s or 100x)")
+	quick := flag.Bool("quick", false, "run each benchmark exactly once (CI schema smoke)")
+	benchRe := flag.String("bench", "", "only run benchmarks matching this regexp")
+	compare := flag.Bool("compare", false, "compare two snapshot files given as positional args")
+	failOver := flag.Float64("fail-over", 0, "with -compare: exit 1 when any benchmark's ns/op regressed by more than this percentage (0 = report only)")
+	validate := flag.String("validate", "", "validate a snapshot file against the schema and exit")
+	testing.Init()
+	flag.Parse()
+
+	if *validate != "" {
+		snap, err := readSnapshot(*validate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid %s snapshot, %d benchmarks\n", *validate, snap.Schema, len(snap.Benchmarks))
+		return nil
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-compare wants exactly two snapshot files, got %d", flag.NArg())
+		}
+		return compareSnapshots(flag.Arg(0), flag.Arg(1), *failOver)
+	}
+
+	bt := *benchtime
+	if *quick {
+		bt = "1x"
+	}
+	if err := flag.Set("test.benchtime", bt); err != nil {
+		return err
+	}
+
+	var filter *regexp.Regexp
+	if *benchRe != "" {
+		re, err := regexp.Compile(*benchRe)
+		if err != nil {
+			return err
+		}
+		filter = re
+	}
+
+	snap := Snapshot{
+		Schema:    Schema,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Benchtime: bt,
+	}
+	for _, bm := range suite() {
+		if filter != nil && !filter.MatchString(bm.name) {
+			continue
+		}
+		res := testing.Benchmark(bm.fn)
+		line := BenchLine{
+			Name:        bm.name,
+			N:           res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if len(res.Extra) > 0 {
+			line.Extra = make(map[string]float64, len(res.Extra))
+			for k, v := range res.Extra {
+				line.Extra[k] = v
+			}
+		}
+		fmt.Printf("%-28s %12.0f ns/op %8d B/op %6d allocs/op%s\n",
+			line.Name, line.NsPerOp, line.BytesPerOp, line.AllocsPerOp, extraString(line.Extra))
+		snap.Benchmarks = append(snap.Benchmarks, line)
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool { return snap.Benchmarks[i].Name < snap.Benchmarks[j].Name })
+
+	path := *out
+	if path == "" {
+		path = nextSnapshotPath()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+	return nil
+}
+
+func extraString(extra map[string]float64) string {
+	if len(extra) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(extra))
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf(" %10.1f %s", extra[k], k)
+	}
+	return s
+}
+
+func nextSnapshotPath() string {
+	for n := 0; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if snap.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, snap.Schema, Schema)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	for _, b := range snap.Benchmarks {
+		if b.Name == "" || b.N <= 0 || b.NsPerOp <= 0 {
+			return nil, fmt.Errorf("%s: malformed benchmark line %+v", path, b)
+		}
+	}
+	return &snap, nil
+}
+
+func compareSnapshots(oldPath, newPath string, failOver float64) error {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]BenchLine, len(oldSnap.Benchmarks))
+	for _, b := range oldSnap.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	fmt.Printf("%-28s %12s %12s %8s  %9s %9s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ", "old a/op", "new a/op", "Δ")
+	regressed := false
+	for _, nb := range newSnap.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("%-28s %38s\n", nb.Name, "(new)")
+			continue
+		}
+		nsDelta := pctDelta(ob.NsPerOp, nb.NsPerOp)
+		allocDelta := pctDelta(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp))
+		fmt.Printf("%-28s %12.0f %12.0f %+7.1f%%  %9d %9d %+7.1f%%\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, nsDelta, ob.AllocsPerOp, nb.AllocsPerOp, allocDelta)
+		if failOver > 0 && nsDelta > failOver {
+			regressed = true
+		}
+	}
+	if regressed {
+		return fmt.Errorf("at least one benchmark regressed by more than %.1f%%", failOver)
+	}
+	return nil
+}
+
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// --------------------------------------------------------------- workloads
+
+type benchmark struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// plantedHost returns the deterministic host hypergraph every solver
+// workload draws from.
+func plantedHost() *hged.Hypergraph {
+	g, _, err := gen.PlantedCommunities(gen.Config{
+		Nodes: 120, Edges: 240, MeanEdgeSize: 4, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// egoPicks returns the first k nodes of g whose ego networks have between
+// minN and maxN nodes — a deterministic selection of solver-sized inputs.
+func egoPicks(g *hged.Hypergraph, k, minN, maxN int) []hged.NodeID {
+	var picks []hged.NodeID
+	for v := 0; v < g.NumNodes() && len(picks) < k; v++ {
+		n := g.Ego(hged.NodeID(v)).NumNodes()
+		if n >= minN && n <= maxN {
+			picks = append(picks, hged.NodeID(v))
+		}
+	}
+	if len(picks) < k {
+		panic(fmt.Sprintf("bench: only %d/%d ego picks in [%d,%d]", len(picks), k, minN, maxN))
+	}
+	return picks
+}
+
+func paperEgoPair() (*hged.Hypergraph, *hged.Hypergraph) {
+	labels := []hged.Label{2, 2, 2, 3, 3, 1, 2, 3}
+	g := hged.NewLabeledHypergraph(labels)
+	g.AddEdge(10, 0, 1, 3)
+	g.AddEdge(10, 3, 5, 6)
+	g.AddEdge(11, 1, 2, 4)
+	g.AddEdge(11, 3, 4, 6, 7)
+	return g.Ego(3), g.Ego(4)
+}
+
+func suite() []benchmark {
+	return []benchmark{
+		{"HGED-BFS/paper-example", func(b *testing.B) {
+			x, y := paperEgoPair()
+			var expanded int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := hged.BFS(x, y, hged.Options{})
+				if res.Distance != 6 {
+					b.Fatalf("distance = %d, want 6", res.Distance)
+				}
+				expanded += res.Expanded
+			}
+			b.ReportMetric(float64(expanded)/float64(b.N), "expansions/op")
+		}},
+		{"HGED-BFS/planted-ego", func(b *testing.B) {
+			g := plantedHost()
+			picks := egoPicks(g, 2, 6, 10)
+			x, y := g.Ego(picks[0]), g.Ego(picks[1])
+			var expanded int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				expanded += hged.BFS(x, y, hged.Options{}).Expanded
+			}
+			b.ReportMetric(float64(expanded)/float64(b.N), "expansions/op")
+		}},
+		// The planted ego pair has HGED 25 and lower bound 25: τ=5 is
+		// rejected by the root bound before any expansion (measuring the
+		// per-call setup cost HEP pays on screened σ checks), while τ=25
+		// forces a full bounded search.
+		{"HGED-BFS/screened", func(b *testing.B) {
+			g := plantedHost()
+			picks := egoPicks(g, 2, 6, 10)
+			x, y := g.Ego(picks[0]), g.Ego(picks[1])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !hged.BFS(x, y, hged.Options{Threshold: 5}).Exceeded {
+					b.Fatal("want exceeded")
+				}
+			}
+		}},
+		{"HGED-BFS/threshold", func(b *testing.B) {
+			g := plantedHost()
+			picks := egoPicks(g, 2, 6, 10)
+			x, y := g.Ego(picks[0]), g.Ego(picks[1])
+			var expanded int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := hged.BFS(x, y, hged.Options{Threshold: 25})
+				if res.Exceeded || res.Distance != 25 {
+					b.Fatalf("got (%d, exceeded=%v), want (25, false)", res.Distance, res.Exceeded)
+				}
+				expanded += res.Expanded
+			}
+			b.ReportMetric(float64(expanded)/float64(b.N), "expansions/op")
+		}},
+		{"EDC-inaccurate", func(b *testing.B) {
+			g := plantedHost()
+			picks := egoPicks(g, 2, 6, 10)
+			x, y := g.Ego(picks[0]), g.Ego(picks[1])
+			n := x.NumNodes()
+			if y.NumNodes() > n {
+				n = y.NumNodes()
+			}
+			nodeMap := make([]int, n)
+			for i := range nodeMap {
+				nodeMap[i] = i
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.EDCInaccurate(x, y, nodeMap)
+			}
+		}},
+		{"Ego/repeat", func(b *testing.B) {
+			g := plantedHost()
+			pick := egoPicks(g, 1, 6, 10)[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Ego(pick)
+			}
+		}},
+		{"Ego/sweep", func(b *testing.B) {
+			g := plantedHost()
+			n := g.NumNodes()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Ego(hged.NodeID(i % n))
+			}
+		}},
+		{"Matrix/egos", func(b *testing.B) {
+			g := plantedHost()
+			picks := egoPicks(g, 6, 4, 9)
+			var expanded int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hged.NodeDistanceMatrix(g, picks, hged.Options{Threshold: 8}, 1)
+			}
+			_ = expanded
+		}},
+		{"HEP/planted", func(b *testing.B) {
+			g, _, err := gen.PlantedCommunities(gen.Config{
+				Nodes: 40, Edges: 80, MeanEdgeSize: 3, Seed: 11,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var expanded int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := predict.New(g, predict.Options{Lambda: 2, Tau: 4, MaxExpansions: 5000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Run()
+				expanded += p.Stats().Expanded
+			}
+			b.ReportMetric(float64(expanded)/float64(b.N), "expansions/op")
+		}},
+		{"Search/range", func(b *testing.B) {
+			g := plantedHost()
+			picks := egoPicks(g, 12, 4, 12)
+			corpus := make([]*hged.Hypergraph, len(picks))
+			for i, v := range picks {
+				corpus[i] = g.Ego(v)
+			}
+			ix := search.Build(corpus)
+			ix.MaxExpansions = 50_000
+			q := corpus[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ix.Search(q, 6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}

@@ -6,6 +6,11 @@
 //
 //	hgedd [-addr :8080] [-load name=path.hg]... [-benson name=nverts,simplices[,labels]]...
 //	      [-sync-limit N] [-workers N] [-queue N] [-request-timeout 30s] [-drain 30s]
+//	      [-pprof addr]
+//
+// -pprof starts a second HTTP listener serving net/http/pprof under
+// /debug/pprof/ (empty = disabled). It is a separate listener so profiling
+// endpoints are never exposed on the public API address.
 //
 // Graph files are selected by extension (.hg text, .json JSON); the Benson
 // simplex format takes its two or three files comma-separated. On SIGINT
@@ -23,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -59,6 +65,7 @@ func run() error {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "synchronous request deadline")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for in-flight jobs")
 	maxUpload := flag.Int64("max-upload", 32<<20, "max graph upload body bytes")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	flag.Func("load", "name=path: load a .hg or .json graph at startup (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
 		if !ok {
@@ -109,6 +116,22 @@ func run() error {
 		}
 		logger.Printf("loaded graph %q (benson): %d nodes, %d hyperedges",
 			e.Name, e.Stats.Nodes, e.Stats.Edges)
+	}
+
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof listener: %v", err)
+			}
+		}()
+		logger.Printf("pprof on %s/debug/pprof/", *pprofAddr)
 	}
 
 	httpSrv := &http.Server{

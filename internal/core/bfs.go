@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"sort"
 
 	"hged/internal/hypergraph"
@@ -29,26 +28,47 @@ import (
 // dictionary, so per-state bound maintenance is allocation-free: Ψ updates
 // in O(1) per candidate from the popped state's base quantities, and the
 // cardinality bound recomputes in O(M) over sorted remainders.
+//
+// Search states live in a per-search slab and reference their parents by
+// index, so pushing a state never allocates once the slab is warm; the
+// package-level BFS runs on a pooled Solver whose slab, priority queue and
+// scratch persist across calls.
 func BFS(g, h *hypergraph.Hypergraph, opts Options) Result {
-	p := newPairModel(g, h, opts.costModel())
-	s := newBFSSearch(p, opts)
-	return s.run(opts)
+	sv := AcquireSolver()
+	defer ReleaseSolver(sv)
+	return sv.BFS(g, h, opts)
 }
 
-// bfsSearch holds the per-run state of HGED-BFS.
+// state is a search node: the assignment made at the parent's level to reach
+// it, the exact accumulated cost g, and the admissible estimate f = g + h.
+// States are slab-allocated; parent is a slab index (noParent for the root).
+type state struct {
+	parent int32
+	choice int32
+	level  int32
+	g      int32
+	f      int32
+}
+
+const noParent = int32(-1)
+
+// bfsSearch holds the per-run state of HGED-BFS. The zero value is ready;
+// init prepares a run and retains all buffers for the next one.
 type bfsSearch struct {
 	p    *pair
 	N, M int
 
 	nodeOrder, edgeOrder []int
 
-	// Source suffix label counts (dense) and cardinality lists per level
-	// (immutable after construction).
-	srcNodeCnt   [][]int32 // [node level 0..N][label]
+	// Source suffix label counts and cardinality lists per level (immutable
+	// after init). Counts are flat: level k of the node suffixes occupies
+	// srcNodeCnt[k*numNodeLab : (k+1)*numNodeLab], and likewise for edges.
+	srcNodeCnt   []int32 // (N+1) × numNodeLab
 	srcNodeSize  []int
-	srcEdgeCnt   [][]int32 // [edge level 0..M][label]
+	srcEdgeCnt   []int32 // (M+1) × numEdgeLab
 	srcEdgeSize  []int
-	srcEdgeCards [][]int // ascending
+	srcEdgeCards [][]int // ascending; slices into cardArena
+	cardArena    []int
 
 	useLB bool
 
@@ -61,80 +81,135 @@ type bfsSearch struct {
 	tgtEdgeSize          int
 	tgtEdgeCards         []int // ascending
 	cardScratch          []int
+
+	// Slab of all created states plus the priority queue of slab indices.
+	slab    []state
+	heapIdx []int32
 }
 
-func newBFSSearch(p *pair, opts Options) *bfsSearch {
+func (s *bfsSearch) srcNodeCntAt(k int) []int32 {
+	w := s.p.numNodeLab
+	return s.srcNodeCnt[k*w : (k+1)*w]
+}
+
+func (s *bfsSearch) srcEdgeCntAt(k int) []int32 {
+	w := s.p.numEdgeLab
+	return s.srcEdgeCnt[k*w : (k+1)*w]
+}
+
+// init prepares the search for p, reusing every retained buffer.
+func (s *bfsSearch) init(p *pair, opts Options) {
 	N, M := p.paddedN, p.paddedM
-	s := &bfsSearch{
-		p: p, N: N, M: M,
-		nodeOrder:  rerankNodes(p.src, N, opts.DisableRerank),
-		edgeOrder:  rerankEdges(p.src, M, opts.DisableRerank),
-		useLB:      !opts.DisableLowerBound,
-		usedNodes:  make([]bool, N),
-		usedEdges:  make([]bool, M),
-		nodeMapBuf: make([]int, N),
-		tgtNodeCnt: make([]int32, p.numNodeLab),
-		tgtEdgeCnt: make([]int32, p.numEdgeLab),
-	}
+	s.p, s.N, s.M = p, N, M
+	s.useLB = !opts.DisableLowerBound
+	s.nodeOrder = growInts(s.nodeOrder, N)
+	rerankNodes(s.nodeOrder, p.src, opts.DisableRerank)
+	s.edgeOrder = growInts(s.edgeOrder, M)
+	rerankEdges(s.edgeOrder, p.src, opts.DisableRerank)
+	s.usedNodes = growBools(s.usedNodes, N)
+	s.usedEdges = growBools(s.usedEdges, M)
+	s.nodeMapBuf = growInts(s.nodeMapBuf, N)
+	s.tgtNodeCnt = growInt32s(s.tgtNodeCnt, p.numNodeLab)
+	s.tgtEdgeCnt = growInt32s(s.tgtEdgeCnt, p.numEdgeLab)
+	s.slab = s.slab[:0]
+	s.heapIdx = s.heapIdx[:0]
 
 	// Source node-label suffixes.
-	s.srcNodeCnt = make([][]int32, N+1)
-	s.srcNodeSize = make([]int, N+1)
-	cur := make([]int32, p.numNodeLab)
+	s.srcNodeCnt = growInt32s(s.srcNodeCnt, (N+1)*p.numNodeLab)
+	s.srcNodeSize = growInts(s.srcNodeSize, N+1)
+	cur := s.srcNodeCntAt(0)
+	for i := range cur {
+		cur[i] = 0
+	}
 	for _, l := range p.srcNodeLab {
 		cur[l]++
 	}
 	size := p.src.n
-	s.srcNodeCnt[0] = append([]int32(nil), cur...)
 	s.srcNodeSize[0] = size
 	for k := 0; k < N; k++ {
+		next := s.srcNodeCntAt(k + 1)
+		copy(next, cur)
 		if v := s.nodeOrder[k]; v < p.src.n {
-			cur[p.srcNodeLab[v]]--
+			next[p.srcNodeLab[v]]--
 			size--
 		}
-		s.srcNodeCnt[k+1] = append([]int32(nil), cur...)
 		s.srcNodeSize[k+1] = size
+		cur = next
 	}
 	// Source edge-label and cardinality suffixes.
-	s.srcEdgeCnt = make([][]int32, M+1)
-	s.srcEdgeSize = make([]int, M+1)
-	s.srcEdgeCards = make([][]int, M+1)
-	ecur := make([]int32, p.numEdgeLab)
+	s.srcEdgeCnt = growInt32s(s.srcEdgeCnt, (M+1)*p.numEdgeLab)
+	s.srcEdgeSize = growInts(s.srcEdgeSize, M+1)
+	ecur := s.srcEdgeCntAt(0)
+	for i := range ecur {
+		ecur[i] = 0
+	}
 	for _, l := range p.srcEdgeLab {
 		ecur[l]++
 	}
 	esize := p.src.m
-	cards := append([]int(nil), p.src.cards...)
-	sort.Ints(cards)
-	s.srcEdgeCnt[0] = append([]int32(nil), ecur...)
 	s.srcEdgeSize[0] = esize
-	s.srcEdgeCards[0] = append([]int(nil), cards...)
-	for k := 0; k < M; k++ {
-		if e := s.edgeOrder[k]; e < p.src.m {
-			ecur[p.srcEdgeLab[e]]--
-			esize--
-			cards = removeSortedInt(cards, p.src.cards[e])
-		}
-		s.srcEdgeCnt[k+1] = append([]int32(nil), ecur...)
-		s.srcEdgeSize[k+1] = esize
-		s.srcEdgeCards[k+1] = append([]int(nil), cards...)
+	// Cardinality suffix lists: level k+1 is level k with the k-th ranked
+	// real edge's cardinality removed; each level is carved from cardArena.
+	if cap(s.srcEdgeCards) < M+1 {
+		s.srcEdgeCards = make([][]int, M+1)
+	} else {
+		s.srcEdgeCards = s.srcEdgeCards[:M+1]
 	}
-	return s
+	arenaNeed := 0
+	for k, rem := 0, p.src.m; k <= M; k++ {
+		arenaNeed += rem
+		if k < M && s.edgeOrder[k] < p.src.m {
+			rem--
+		}
+	}
+	s.cardArena = growInts(s.cardArena, arenaNeed)
+	arena := s.cardArena
+	cards := arena[:p.src.m]
+	arena = arena[p.src.m:]
+	copy(cards, p.src.cards)
+	sort.Ints(cards)
+	s.srcEdgeCards[0] = cards
+	for k := 0; k < M; k++ {
+		next := cards
+		if e := s.edgeOrder[k]; e < p.src.m {
+			ecur2 := s.srcEdgeCntAt(k + 1)
+			copy(ecur2, ecur)
+			ecur2[p.srcEdgeLab[e]]--
+			esize--
+			ecur = ecur2
+			next = arena[:len(cards)-1]
+			arena = arena[len(cards)-1:]
+			copyWithoutSorted(next, cards, p.src.cards[e])
+		} else {
+			ecur2 := s.srcEdgeCntAt(k + 1)
+			copy(ecur2, ecur)
+			ecur = ecur2
+			next = arena[:len(cards)]
+			arena = arena[len(cards):]
+			copy(next, cards)
+		}
+		s.srcEdgeSize[k+1] = esize
+		s.srcEdgeCards[k+1] = next
+		cards = next
+	}
 }
 
-func removeSortedInt(xs []int, v int) []int {
-	i := sort.SearchInts(xs, v)
-	if i < len(xs) && xs[i] == v {
-		out := make([]int, 0, len(xs)-1)
-		out = append(out, xs[:i]...)
-		return append(out, xs[i+1:]...)
+// copyWithoutSorted copies the ascending list src into dst (len(src)-1)
+// omitting one occurrence of v; if v is absent the last element is dropped
+// (cannot happen for well-formed inputs).
+func copyWithoutSorted(dst, src []int, v int) {
+	i := sort.SearchInts(src, v)
+	if i >= len(src) || src[i] != v {
+		copy(dst, src[:len(src)-1])
+		return
 	}
-	return xs
+	copy(dst, src[:i])
+	copy(dst[i:], src[i+1:])
 }
 
 // restore rebuilds the scratch state (used slots, node-map prefix, target
 // remaining counts) for the popped search node by walking its parent chain.
-func (s *bfsSearch) restore(st *state) {
+func (s *bfsSearch) restore(st int32) {
 	p := s.p
 	for i := range s.usedNodes {
 		s.usedNodes[i] = false
@@ -159,9 +234,10 @@ func (s *bfsSearch) restore(st *state) {
 	s.tgtEdgeCards = append(s.tgtEdgeCards[:0], p.tgt.cards...)
 	sort.Ints(s.tgtEdgeCards)
 
-	for cur := st; cur.parent != nil; cur = cur.parent {
-		lvl := int(cur.parent.level)
-		choice := int(cur.choice)
+	for cur := st; s.slab[cur].parent != noParent; cur = s.slab[cur].parent {
+		par := &s.slab[s.slab[cur].parent]
+		lvl := int(par.level)
+		choice := int(s.slab[cur].choice)
 		if lvl < s.N {
 			s.usedNodes[choice] = true
 			s.nodeMapBuf[s.nodeOrder[lvl]] = choice
@@ -223,20 +299,18 @@ func (s *bfsSearch) run(opts Options) Result {
 		rootLB = lowerBoundDataModel(p.src, p.tgt, p.w)
 	}
 
-	pq := &stateHeap{}
-	heap.Init(pq)
 	if rootLB < bound {
-		heap.Push(pq, &state{level: 0, g: 0, f: int32(rootLB)})
+		s.pushState(state{parent: noParent, level: 0, g: 0, f: int32(rootLB)})
 	}
 
 	budget := opts.maxExpansions()
 	var expanded int64
 	capped := false
-	var goal *state
+	goal := noParent
 
-	for pq.Len() > 0 {
-		st := heap.Pop(pq).(*state)
-		if int(st.f) >= bound {
+	for len(s.heapIdx) > 0 {
+		st := s.popState()
+		if int(s.slab[st].f) >= bound {
 			continue // stale against a tightened incumbent
 		}
 		expanded++
@@ -244,25 +318,25 @@ func (s *bfsSearch) run(opts Options) Result {
 			capped = true
 			break
 		}
-		if int(st.level) == total {
+		if int(s.slab[st].level) == total {
 			goal = st
 			break
 		}
 		s.restore(st)
 
-		lvl := int(st.level)
+		lvl := int(s.slab[st].level)
 		if lvl < N {
-			s.expandNodeLevel(st, lvl, bound, pq)
+			s.expandNodeLevel(st, lvl, bound)
 		} else {
-			s.expandEdgeLevel(st, lvl, bound, pq)
+			s.expandEdgeLevel(st, lvl, bound)
 		}
 	}
 
 	res := Result{Expanded: expanded, Exact: !capped}
 	switch {
-	case goal != nil:
-		res.Distance = int(goal.g)
-		res.Path = p.extractPath(reconstructMapping(p, goal, s.nodeOrder, s.edgeOrder))
+	case goal != noParent:
+		res.Distance = int(s.slab[goal].g)
+		res.Path = p.extractPath(s.reconstructMapping(goal))
 	case capped:
 		// Budget exhausted: fall back to the best known upper bound.
 		if incumbentMap == nil {
@@ -290,17 +364,19 @@ func (s *bfsSearch) run(opts Options) Result {
 // expandNodeLevel pushes the children of a node-level state. The hyperedge
 // part of the suffix bound is constant across all node levels (no hyperedge
 // is mapped yet), and the node-label Ψ updates in O(1) per candidate.
-func (s *bfsSearch) expandNodeLevel(st *state, lvl, bound int, pq *stateHeap) {
+func (s *bfsSearch) expandNodeLevel(st int32, lvl, bound int) {
 	p := s.p
 	src := s.nodeOrder[lvl]
-	suffix := s.srcNodeCnt[lvl+1]
+	suffix := s.srcNodeCntAt(lvl + 1)
 	sizeA := s.srcNodeSize[lvl+1]
+	parentG := int(s.slab[st].g)
+	parentLevel := s.slab[st].level
 	var sizeB, interAB, edgeLB int
 	if s.useLB {
 		sizeB = s.tgtNodeSize
 		interAB = interSize(suffix, s.tgtNodeCnt)
 		// Full edge-part bound: no hyperedges are mapped at node levels.
-		edgePsi := maxInt(s.srcEdgeSize[0], s.tgtEdgeSize) - interSize(s.srcEdgeCnt[0], s.tgtEdgeCnt)
+		edgePsi := maxInt(s.srcEdgeSize[0], s.tgtEdgeSize) - interSize(s.srcEdgeCntAt(0), s.tgtEdgeCnt)
 		edgeLB = weightedPsi(edgePsi, s.srcEdgeSize[0]-s.tgtEdgeSize, p.w.Edge, p.w.minEdgeMismatch()) +
 			sortedL1(s.srcEdgeCards[0], s.tgtEdgeCards)*p.w.Incidence
 	}
@@ -308,7 +384,7 @@ func (s *bfsSearch) expandNodeLevel(st *state, lvl, bound int, pq *stateHeap) {
 		if s.usedNodes[j] {
 			continue
 		}
-		childG := int(st.g) + p.nodeCost(src, j)
+		childG := parentG + p.nodeCost(src, j)
 		childLB := edgeLB
 		if s.useLB {
 			inter, size := interAB, sizeB
@@ -323,20 +399,22 @@ func (s *bfsSearch) expandNodeLevel(st *state, lvl, bound int, pq *stateHeap) {
 			childLB += weightedPsi(psi, sizeA-size, p.w.Node, p.w.minNodeMismatch())
 		}
 		if f := childG + childLB; f < bound {
-			heap.Push(pq, &state{parent: st, choice: int32(j), level: st.level + 1, g: int32(childG), f: int32(f)})
+			s.pushState(state{parent: st, choice: int32(j), level: parentLevel + 1, g: int32(childG), f: int32(f)})
 		}
 	}
 }
 
 // expandEdgeLevel pushes the children of an edge-level state; the node
 // mapping is complete, so edge costs are exact.
-func (s *bfsSearch) expandEdgeLevel(st *state, lvl, bound int, pq *stateHeap) {
+func (s *bfsSearch) expandEdgeLevel(st int32, lvl, bound int) {
 	p := s.p
 	elvl := lvl - s.N
 	src := s.edgeOrder[elvl]
-	suffix := s.srcEdgeCnt[elvl+1]
+	suffix := s.srcEdgeCntAt(elvl + 1)
 	sizeA := s.srcEdgeSize[elvl+1]
 	srcCards := s.srcEdgeCards[elvl+1]
+	parentG := int(s.slab[st].g)
+	parentLevel := s.slab[st].level
 	var sizeB, interAB int
 	if s.useLB {
 		sizeB = s.tgtEdgeSize
@@ -346,7 +424,7 @@ func (s *bfsSearch) expandEdgeLevel(st *state, lvl, bound int, pq *stateHeap) {
 		if s.usedEdges[j] {
 			continue
 		}
-		childG := int(st.g) + p.edgeCost(src, j, s.nodeMapBuf)
+		childG := parentG + p.edgeCost(src, j, s.nodeMapBuf)
 		childLB := 0
 		if s.useLB {
 			inter, size := interAB, sizeB
@@ -365,22 +443,13 @@ func (s *bfsSearch) expandEdgeLevel(st *state, lvl, bound int, pq *stateHeap) {
 				sortedL1(srcCards, cards)*p.w.Incidence
 		}
 		if f := childG + childLB; f < bound {
-			heap.Push(pq, &state{parent: st, choice: int32(j), level: st.level + 1, g: int32(childG), f: int32(f)})
+			s.pushState(state{parent: st, choice: int32(j), level: parentLevel + 1, g: int32(childG), f: int32(f)})
 		}
 	}
 }
 
-// state is a search node: the assignment made at the parent's level to reach
-// it, the exact accumulated cost g, and the admissible estimate f = g + h.
-type state struct {
-	parent *state
-	choice int32
-	level  int32
-	g      int32
-	f      int32
-}
-
-func reconstructMapping(p *pair, goal *state, nodeOrder, edgeOrder []int) *Mapping {
+func (s *bfsSearch) reconstructMapping(goal int32) *Mapping {
+	p := s.p
 	N, M := p.paddedN, p.paddedM
 	mp := &Mapping{
 		SrcN: p.src.n, TgtN: p.tgt.n,
@@ -388,37 +457,73 @@ func reconstructMapping(p *pair, goal *state, nodeOrder, edgeOrder []int) *Mappi
 		NodeMap: make([]int, N),
 		EdgeMap: make([]int, M),
 	}
-	for s := goal; s.parent != nil; s = s.parent {
-		lvl := int(s.parent.level)
+	for cur := goal; s.slab[cur].parent != noParent; cur = s.slab[cur].parent {
+		lvl := int(s.slab[s.slab[cur].parent].level)
 		if lvl < N {
-			mp.NodeMap[nodeOrder[lvl]] = int(s.choice)
+			mp.NodeMap[s.nodeOrder[lvl]] = int(s.slab[cur].choice)
 		} else {
-			mp.EdgeMap[edgeOrder[lvl-N]] = int(s.choice)
+			mp.EdgeMap[s.edgeOrder[lvl-N]] = int(s.slab[cur].choice)
 		}
 	}
 	return mp
 }
 
-// stateHeap is a min-heap on f, breaking ties toward deeper states so goals
-// surface sooner.
-type stateHeap []*state
+// --------------------------------------------------------------- heap
+//
+// The priority queue is a binary min-heap of slab indices ordered on
+// (f ascending, level descending) — deeper states first on ties so goals
+// surface sooner. The sift procedures mirror container/heap exactly, so the
+// pop order (and therefore the reported edit paths) is bit-for-bit the same
+// as the previous pointer-based implementation; what changed is that pushes
+// append to the slab and index array instead of allocating.
 
-func (h stateHeap) Len() int { return len(h) }
-func (h stateHeap) Less(i, j int) bool {
-	if h[i].f != h[j].f {
-		return h[i].f < h[j].f
+func (s *bfsSearch) stateLess(a, b int32) bool {
+	sa, sb := &s.slab[a], &s.slab[b]
+	if sa.f != sb.f {
+		return sa.f < sb.f
 	}
-	return h[i].level > h[j].level
+	return sa.level > sb.level
 }
-func (h stateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *stateHeap) Push(x interface{}) {
-	*h = append(*h, x.(*state))
+
+// pushState slab-allocates st and sifts its index up the heap.
+func (s *bfsSearch) pushState(st state) {
+	s.slab = append(s.slab, st)
+	s.heapIdx = append(s.heapIdx, int32(len(s.slab)-1))
+	h := s.heapIdx
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.stateLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
-func (h *stateHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+
+// popState removes and returns the minimum state's slab index.
+func (s *bfsSearch) popState() int32 {
+	h := s.heapIdx
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	// Sift the swapped-in root down over h[:n] (container/heap's down).
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s.stateLess(h[j2], h[j1]) {
+			j = j2
+		}
+		if !s.stateLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	top := h[n]
+	s.heapIdx = h[:n]
+	return top
 }

@@ -23,28 +23,94 @@ func EDCInaccurate(g, h *hypergraph.Hypergraph, nodeMap []int) int {
 	return newPair(g, h).edcInaccurate(nodeMap)
 }
 
+// edgeSetIndex groups a graph's hyperedges by their member set. Sets are
+// keyed by a 64-bit hash of the sorted member IDs; hash collisions are
+// resolved at lookup time by comparing the actual member lists, so two
+// distinct sets never merge (and duplicate hyperedges share one group with
+// multiplicity, as the string-keyed index did).
+type edgeSetIndex struct {
+	buckets map[uint64][]int32
+}
+
+// build indexes the target graph's hyperedges, reusing retained map storage.
+func (ix *edgeSetIndex) build(d *graphData) {
+	if ix.buckets == nil {
+		ix.buckets = make(map[uint64][]int32, d.m)
+	} else {
+		clear(ix.buckets)
+	}
+	for f := 0; f < d.m; f++ {
+		k := hashIntSet(d.edgeNodes[f])
+		ix.buckets[k] = append(ix.buckets[k], int32(f))
+	}
+}
+
+// lookup returns the first unmatched hyperedge of d whose member set equals
+// the sorted list nodes, or -1. matched flags consumed hyperedges.
+func (ix *edgeSetIndex) lookup(d *graphData, nodes []int, matched []bool) int {
+	for _, cand := range ix.buckets[hashIntSet(nodes)] {
+		if !matched[cand] && intSlicesEqual(d.edgeNodes[cand], nodes) {
+			return int(cand)
+		}
+	}
+	return -1
+}
+
+// hashIntSet hashes a sorted member list with FNV-1a, folding in the length
+// so prefixes hash differently.
+func hashIntSet(nodes []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range nodes {
+		h ^= uint64(uint32(v))
+		h *= prime64
+	}
+	h ^= uint64(len(nodes))
+	h *= prime64
+	return h
+}
+
+func intSlicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// tgtEdgeIndex returns the memoized target-edge member-set index, building
+// it on first use. HGED-HEU evaluates EDC-INAC for every complete node
+// mapping visited, so building the index once per pair (instead of once per
+// evaluation) removes the dominant cost of the procedure.
+func (p *pair) tgtEdgeIndex() *edgeSetIndex {
+	if !p.tgtIndexBuilt {
+		p.tgtIndex.build(p.tgt)
+		p.tgtIndexBuilt = true
+	}
+	return &p.tgtIndex
+}
+
 func (p *pair) edcInaccurate(nodeMap []int) int {
 	cost := 0
 	for i, j := range nodeMap {
 		cost += p.nodeCost(i, j)
 	}
 
-	// Index target hyperedges by canonical member-set key, with
-	// multiplicity.
-	type bucket struct{ idxs []int }
-	index := make(map[string]*bucket, p.tgt.m)
-	for f := 0; f < p.tgt.m; f++ {
-		k := setKey(p.tgt.edgeNodes[f])
-		b := index[k]
-		if b == nil {
-			b = &bucket{}
-			index[k] = b
-		}
-		b.idxs = append(b.idxs, f)
+	index := p.tgtEdgeIndex()
+	p.edcMatched = growBools(p.edcMatched, p.tgt.m)
+	matchedTgt := p.edcMatched
+	for i := range matchedTgt {
+		matchedTgt[i] = false
 	}
-	matchedTgt := make([]bool, p.tgt.m)
 
-	mapped := make([]int, 0, 16)
+	mapped := p.edcMapped[:0]
 	for e := 0; e < p.src.m; e++ {
 		mapped = mapped[:0]
 		valid := true
@@ -56,17 +122,10 @@ func (p *pair) edcInaccurate(nodeMap []int) int {
 			}
 			mapped = append(mapped, j)
 		}
-		var f = -1
+		f := -1
 		if valid {
 			sort.Ints(mapped)
-			if b := index[setKey(mapped)]; b != nil {
-				for _, cand := range b.idxs {
-					if !matchedTgt[cand] {
-						f = cand
-						break
-					}
-				}
-			}
+			f = index.lookup(p.tgt, mapped, matchedTgt)
 		}
 		if f < 0 {
 			// Whole hyperedge charged: one reduction per member plus the
@@ -79,6 +138,7 @@ func (p *pair) edcInaccurate(nodeMap []int) int {
 			cost += p.w.EdgeRelabel
 		}
 	}
+	p.edcMapped = mapped[:0]
 	// Target hyperedges never claimed are charged as insertions.
 	for f := 0; f < p.tgt.m; f++ {
 		if !matchedTgt[f] {
@@ -86,19 +146,6 @@ func (p *pair) edcInaccurate(nodeMap []int) int {
 		}
 	}
 	return cost
-}
-
-func setKey(nodes []int) string {
-	b := make([]byte, 0, len(nodes)*4)
-	for _, v := range nodes {
-		x := uint32(v)
-		for x >= 0x80 {
-			b = append(b, byte(x)|0x80)
-			x >>= 7
-		}
-		b = append(b, byte(x))
-	}
-	return string(b)
 }
 
 // EDCPermutation computes the exact minimum edit cost of transforming g into

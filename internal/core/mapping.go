@@ -66,48 +66,65 @@ func checkPerm(name string, perm []int, n int) error {
 
 // graphData is the solver-internal compiled form of a hypergraph: flat label
 // slices, edge member lists, and per-edge membership bitsets for O(1)
-// intersection tests.
+// intersection tests. All storage is arena-backed (edge member lists slice
+// into nodeArena, bitsets into the flat memberBits) so that a pooled Solver
+// can recompile graphs into the same buffers without reallocating.
 type graphData struct {
 	n, m       int
 	nodeLabels []hypergraph.Label
 	edgeLabels []hypergraph.Label
-	edgeNodes  [][]int
+	edgeNodes  [][]int // slices into nodeArena
+	nodeArena  []int
 	cards      []int
-	// memberBits[e] is a bitset over node ids marking membership in edge e.
-	memberBits [][]uint64
+	// memberBits is a flat bitset array: edge e owns the bitWords words at
+	// [e*bitWords, (e+1)*bitWords), marking node membership in e.
+	memberBits []uint64
+	bitWords   int
 	degrees    []int
 }
 
-func compile(g *hypergraph.Hypergraph) *graphData {
+// reset recompiles g into d, reusing d's buffers when they have capacity.
+func (d *graphData) reset(g *hypergraph.Hypergraph) {
 	n, m := g.NumNodes(), g.NumEdges()
-	d := &graphData{
-		n:          n,
-		m:          m,
-		nodeLabels: make([]hypergraph.Label, n),
-		edgeLabels: make([]hypergraph.Label, m),
-		edgeNodes:  make([][]int, m),
-		cards:      make([]int, m),
-		memberBits: make([][]uint64, m),
-		degrees:    make([]int, n),
-	}
+	d.n, d.m = n, m
+	d.nodeLabels = growLabels(d.nodeLabels, n)
+	d.degrees = growInts(d.degrees, n)
 	for v := 0; v < n; v++ {
 		d.nodeLabels[v] = g.NodeLabel(hypergraph.NodeID(v))
 		d.degrees[v] = g.Degree(hypergraph.NodeID(v))
 	}
-	words := (n + 63) / 64
+	d.edgeLabels = growLabels(d.edgeLabels, m)
+	d.edgeNodes = growIntSlices(d.edgeNodes, m)
+	d.cards = growInts(d.cards, m)
+	d.bitWords = (n + 63) / 64
+	d.memberBits = growUint64s(d.memberBits, m*d.bitWords)
+	for i := range d.memberBits {
+		d.memberBits[i] = 0
+	}
+	incid := 0
+	for e := 0; e < m; e++ {
+		incid += g.Edge(hypergraph.EdgeID(e)).Arity()
+	}
+	d.nodeArena = growInts(d.nodeArena, incid)
+	next := 0
 	for e := 0; e < m; e++ {
 		edge := g.Edge(hypergraph.EdgeID(e))
 		d.edgeLabels[e] = edge.Label
 		d.cards[e] = edge.Arity()
-		nodes := make([]int, edge.Arity())
-		bits := make([]uint64, words)
+		nodes := d.nodeArena[next : next+edge.Arity()]
+		next += edge.Arity()
+		bits := d.memberBits[e*d.bitWords : (e+1)*d.bitWords]
 		for i, v := range edge.Nodes {
 			nodes[i] = int(v)
 			bits[int(v)/64] |= 1 << (uint(v) % 64)
 		}
 		d.edgeNodes[e] = nodes
-		d.memberBits[e] = bits
 	}
+}
+
+func compile(g *hypergraph.Hypergraph) *graphData {
+	d := new(graphData)
+	d.reset(g)
 	return d
 }
 
@@ -115,12 +132,59 @@ func (d *graphData) contains(e, v int) bool {
 	if v < 0 || v >= d.n {
 		return false
 	}
-	return d.memberBits[e][v/64]&(1<<(uint(v)%64)) != 0
+	return d.memberBits[e*d.bitWords+v/64]&(1<<(uint(v)%64)) != 0
+}
+
+// growInts and friends return a slice of length n, reusing buf's backing
+// array when it is large enough. Contents are unspecified unless the caller
+// overwrites them.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growInt32s(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growUint64s(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+func growLabels(buf []hypergraph.Label, n int) []hypergraph.Label {
+	if cap(buf) < n {
+		return make([]hypergraph.Label, n)
+	}
+	return buf[:n]
+}
+
+func growIntSlices(buf [][]int, n int) [][]int {
+	if cap(buf) < n {
+		return make([][]int, n)
+	}
+	return buf[:n]
 }
 
 // pair bundles the compiled source and target for cost evaluation, with
 // shared dense label dictionaries so search code can use array-indexed
-// label multisets instead of maps.
+// label multisets instead of maps. A pair owned by a Solver is re-initialized
+// in place across solves; its dictionaries, label slices and scratch buffers
+// are retained and reused.
 type pair struct {
 	src, tgt *graphData
 	paddedN  int
@@ -130,6 +194,15 @@ type pair struct {
 	srcNodeLab, tgtNodeLab []int
 	srcEdgeLab, tgtEdgeLab []int
 	numNodeLab, numEdgeLab int
+	// Retained label dictionaries (cleared, not reallocated, per init).
+	nodeDict, edgeDict map[hypergraph.Label]int
+	// Memoized EDC-INAC target-edge index (see edc.go): built at most once
+	// per initialized pair, shared by every complete mapping evaluated.
+	tgtIndex      edgeSetIndex
+	tgtIndexBuilt bool
+	// EDC-INAC scratch.
+	edcMapped  []int
+	edcMatched []bool
 }
 
 func newPair(g, h *hypergraph.Hypergraph) *pair {
@@ -137,27 +210,39 @@ func newPair(g, h *hypergraph.Hypergraph) *pair {
 }
 
 func newPairModel(g, h *hypergraph.Hypergraph, w CostModel) *pair {
-	s, t := compile(g), compile(h)
-	p := &pair{
-		src:     s,
-		tgt:     t,
-		paddedN: maxInt(s.n, t.n),
-		paddedM: maxInt(s.m, t.m),
-		w:       w,
-	}
-	nodeDict := make(map[hypergraph.Label]int)
-	p.srcNodeLab = densify(s.nodeLabels, nodeDict)
-	p.tgtNodeLab = densify(t.nodeLabels, nodeDict)
-	p.numNodeLab = len(nodeDict)
-	edgeDict := make(map[hypergraph.Label]int)
-	p.srcEdgeLab = densify(s.edgeLabels, edgeDict)
-	p.tgtEdgeLab = densify(t.edgeLabels, edgeDict)
-	p.numEdgeLab = len(edgeDict)
+	p := new(pair)
+	p.init(g, h, w)
 	return p
 }
 
-func densify(labels []hypergraph.Label, dict map[hypergraph.Label]int) []int {
-	out := make([]int, len(labels))
+// init (re)compiles the pair model into p, reusing retained storage.
+func (p *pair) init(g, h *hypergraph.Hypergraph, w CostModel) {
+	if p.src == nil {
+		p.src, p.tgt = new(graphData), new(graphData)
+	}
+	p.src.reset(g)
+	p.tgt.reset(h)
+	p.paddedN = maxInt(p.src.n, p.tgt.n)
+	p.paddedM = maxInt(p.src.m, p.tgt.m)
+	p.w = w
+	if p.nodeDict == nil {
+		p.nodeDict = make(map[hypergraph.Label]int)
+		p.edgeDict = make(map[hypergraph.Label]int)
+	} else {
+		clear(p.nodeDict)
+		clear(p.edgeDict)
+	}
+	p.srcNodeLab = densify(p.srcNodeLab, p.src.nodeLabels, p.nodeDict)
+	p.tgtNodeLab = densify(p.tgtNodeLab, p.tgt.nodeLabels, p.nodeDict)
+	p.numNodeLab = len(p.nodeDict)
+	p.srcEdgeLab = densify(p.srcEdgeLab, p.src.edgeLabels, p.edgeDict)
+	p.tgtEdgeLab = densify(p.tgtEdgeLab, p.tgt.edgeLabels, p.edgeDict)
+	p.numEdgeLab = len(p.edgeDict)
+	p.tgtIndexBuilt = false
+}
+
+func densify(out []int, labels []hypergraph.Label, dict map[hypergraph.Label]int) []int {
+	out = growInts(out, len(labels))
 	for i, l := range labels {
 		idx, ok := dict[l]
 		if !ok {

@@ -27,8 +27,11 @@ func Matrix(graphs []*hypergraph.Hypergraph, opts Options, workers int) [][]int 
 			jobs = append(jobs, job{i, j})
 		}
 	}
-	run := func(jb job) {
-		res := BFS(graphs[jb.i], graphs[jb.j], opts)
+	// Each worker owns one pooled Solver for its whole job stream, so the
+	// slab/scratch allocations of the first pair are amortized across all of
+	// them.
+	run := func(sv *Solver, jb job) {
+		res := sv.BFS(graphs[jb.i], graphs[jb.j], opts)
 		d := res.Distance
 		if res.Exceeded {
 			d = NotWithin
@@ -37,8 +40,10 @@ func Matrix(graphs []*hypergraph.Hypergraph, opts Options, workers int) [][]int 
 		out[jb.j][jb.i] = d
 	}
 	if workers <= 1 {
+		sv := AcquireSolver()
+		defer ReleaseSolver(sv)
 		for _, jb := range jobs {
-			run(jb)
+			run(sv, jb)
 		}
 		return out
 	}
@@ -48,8 +53,10 @@ func Matrix(graphs []*hypergraph.Hypergraph, opts Options, workers int) [][]int 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sv := AcquireSolver()
+			defer ReleaseSolver(sv)
 			for jb := range ch {
-				run(jb)
+				run(sv, jb)
 			}
 		}()
 	}

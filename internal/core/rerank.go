@@ -2,20 +2,19 @@ package core
 
 import "sort"
 
-// rerankNodes returns the order in which source node slots are assigned
-// during search, implementing Strategy 1's intuitions: (i) higher-degree
-// nodes first, (ii) nodes with equal labels grouped together, (iii) nodes
-// before hyperedges (enforced by the caller: all node levels precede edge
-// levels), (iv) higher-cardinality hyperedges first (see rerankEdges).
-// Real slots come first; null (padding) slots last. When disabled, natural
-// order is used.
-func rerankNodes(d *graphData, paddedN int, disable bool) []int {
-	order := make([]int, paddedN)
+// rerankNodes fills order (length paddedN) with the order in which source
+// node slots are assigned during search, implementing Strategy 1's
+// intuitions: (i) higher-degree nodes first, (ii) nodes with equal labels
+// grouped together, (iii) nodes before hyperedges (enforced by the caller:
+// all node levels precede edge levels), (iv) higher-cardinality hyperedges
+// first (see rerankEdges). Real slots come first; null (padding) slots last.
+// When disabled, natural order is used.
+func rerankNodes(order []int, d *graphData, disable bool) {
 	for i := range order {
 		order[i] = i
 	}
 	if disable || d.n == 0 {
-		return order
+		return
 	}
 	// Group score per label: the maximum degree among nodes of that label,
 	// so whole label groups are ordered by their strongest member.
@@ -41,19 +40,17 @@ func rerankNodes(d *graphData, paddedN int, disable bool) []int {
 		}
 		return va < vb
 	})
-	return order
 }
 
-// rerankEdges orders source hyperedge slots: label groups ordered by their
-// largest cardinality, higher-cardinality edges first inside each group.
-// Null slots last.
-func rerankEdges(d *graphData, paddedM int, disable bool) []int {
-	order := make([]int, paddedM)
+// rerankEdges fills order (length paddedM) with the source hyperedge slot
+// order: label groups ordered by their largest cardinality,
+// higher-cardinality edges first inside each group. Null slots last.
+func rerankEdges(order []int, d *graphData, disable bool) {
 	for i := range order {
 		order[i] = i
 	}
 	if disable || d.m == 0 {
-		return order
+		return
 	}
 	groupScore := make(map[int32]int)
 	for e := 0; e < d.m; e++ {
@@ -77,5 +74,4 @@ func rerankEdges(d *graphData, paddedM int, disable bool) []int {
 		}
 		return ea < eb
 	})
-	return order
 }

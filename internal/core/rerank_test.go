@@ -16,7 +16,8 @@ func TestRerankNodesStrategy1(t *testing.T) {
 	g.AddEdge(9, 1, 2)
 	g.AddEdge(9, 1)
 	d := compile(g)
-	order := rerankNodes(d, 4, false) // padded by one null slot
+	order := make([]int, 4) // padded by one null slot
+	rerankNodes(order, d, false)
 	want := []int{1, 0, 2, 3}
 	for i := range want {
 		if order[i] != want[i] {
@@ -24,7 +25,7 @@ func TestRerankNodesStrategy1(t *testing.T) {
 		}
 	}
 	// Disabled: natural order.
-	order = rerankNodes(d, 4, true)
+	rerankNodes(order, d, true)
 	for i := range order {
 		if order[i] != i {
 			t.Fatalf("disabled rerank should be identity, got %v", order)
@@ -41,7 +42,8 @@ func TestRerankEdgesStrategy1(t *testing.T) {
 	g.AddEdge(6, 0, 1, 2)
 	g.AddEdge(5, 3)
 	d := compile(g)
-	order := rerankEdges(d, 3, false)
+	order := make([]int, 3)
+	rerankEdges(order, d, false)
 	want := []int{1, 0, 2}
 	for i := range want {
 		if order[i] != want[i] {
@@ -52,10 +54,13 @@ func TestRerankEdgesStrategy1(t *testing.T) {
 
 func TestRerankEmptyGraphs(t *testing.T) {
 	d := compile(hypergraph.New(0))
-	if got := rerankNodes(d, 2, false); got[0] != 0 || got[1] != 1 {
+	got := make([]int, 2)
+	rerankNodes(got, d, false)
+	if got[0] != 0 || got[1] != 1 {
 		t.Fatalf("empty-graph node order = %v", got)
 	}
-	if got := rerankEdges(d, 2, false); got[0] != 0 || got[1] != 1 {
+	rerankEdges(got, d, false)
+	if got[0] != 0 || got[1] != 1 {
 		t.Fatalf("empty-graph edge order = %v", got)
 	}
 }

@@ -11,6 +11,7 @@ package hypergraph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node within a hypergraph. IDs are dense: a hypergraph
@@ -82,6 +83,10 @@ type Hypergraph struct {
 	// origIDs, when non-nil, maps local NodeIDs back to the node IDs of a
 	// host graph this hypergraph was induced from. See InducedSubgraph.
 	origIDs []NodeID
+	// egoCache memoizes Ego extractions (see Ego). It is invalidated by
+	// every mutation and never copied by Clone.
+	egoMu    sync.RWMutex
+	egoCache map[NodeID]*Hypergraph
 }
 
 // New returns an empty hypergraph with n unlabeled nodes.
@@ -108,6 +113,7 @@ func (h *Hypergraph) NumEdges() int { return len(h.edges) }
 
 // AddNode appends a node with the given label and returns its id.
 func (h *Hypergraph) AddNode(l Label) NodeID {
+	h.invalidateEgoCache()
 	h.nodeLabels = append(h.nodeLabels, l)
 	h.incidence = append(h.incidence, nil)
 	return NodeID(len(h.nodeLabels) - 1)
@@ -128,6 +134,7 @@ func (h *Hypergraph) AddNodes(n int) NodeID {
 // hyperedges of cardinality 0). AddEdge panics if any node id is out of
 // range.
 func (h *Hypergraph) AddEdge(l Label, nodes ...NodeID) EdgeID {
+	h.invalidateEgoCache()
 	ns := make([]NodeID, len(nodes))
 	copy(ns, nodes)
 	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
@@ -163,13 +170,19 @@ func dedupSorted(ns []NodeID) []NodeID {
 func (h *Hypergraph) NodeLabel(v NodeID) Label { return h.nodeLabels[v] }
 
 // SetNodeLabel sets l(v).
-func (h *Hypergraph) SetNodeLabel(v NodeID, l Label) { h.nodeLabels[v] = l }
+func (h *Hypergraph) SetNodeLabel(v NodeID, l Label) {
+	h.invalidateEgoCache()
+	h.nodeLabels[v] = l
+}
 
 // EdgeLabel returns l(E).
 func (h *Hypergraph) EdgeLabel(e EdgeID) Label { return h.edges[e].Label }
 
 // SetEdgeLabel sets l(E).
-func (h *Hypergraph) SetEdgeLabel(e EdgeID, l Label) { h.edges[e].Label = l }
+func (h *Hypergraph) SetEdgeLabel(e EdgeID, l Label) {
+	h.invalidateEgoCache()
+	h.edges[e].Label = l
+}
 
 // Edge returns the hyperedge with id e. The returned value shares its node
 // slice with the hypergraph; callers must not mutate it.
@@ -279,10 +292,50 @@ func (h *Hypergraph) InducedSubgraph(s []NodeID) *Hypergraph {
 	return sub
 }
 
+// egoCacheLimit bounds the memoized ego networks per hypergraph; past it,
+// an arbitrary entry is evicted to admit the new one.
+const egoCacheLimit = 8192
+
 // Ego returns EGO(v), the ego network of v: the sub-hypergraph induced by
 // NEI(v) (Definition 1).
+//
+// Results are memoized: repeated calls for the same node on an unmodified
+// hypergraph return the same instance, so the HEP predictor, NodeDistance
+// and batch matrices stop re-extracting identical sub-hypergraphs. The
+// returned ego is shared — callers must treat it as immutable (every
+// in-repo caller only reads it). Any mutation of h invalidates the cache.
 func (h *Hypergraph) Ego(v NodeID) *Hypergraph {
-	return h.InducedSubgraph(h.Neighbors(v))
+	h.egoMu.RLock()
+	ego := h.egoCache[v]
+	h.egoMu.RUnlock()
+	if ego != nil {
+		return ego
+	}
+	ego = h.InducedSubgraph(h.Neighbors(v))
+	h.egoMu.Lock()
+	if cached := h.egoCache[v]; cached != nil {
+		ego = cached // lost the race: keep the canonical instance
+	} else {
+		if h.egoCache == nil {
+			h.egoCache = make(map[NodeID]*Hypergraph)
+		} else if len(h.egoCache) >= egoCacheLimit {
+			for k := range h.egoCache {
+				delete(h.egoCache, k)
+				break
+			}
+		}
+		h.egoCache[v] = ego
+	}
+	h.egoMu.Unlock()
+	return ego
+}
+
+func (h *Hypergraph) invalidateEgoCache() {
+	h.egoMu.Lock()
+	if len(h.egoCache) > 0 {
+		clear(h.egoCache)
+	}
+	h.egoMu.Unlock()
 }
 
 // Clone returns a deep copy of the hypergraph.

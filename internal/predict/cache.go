@@ -1,7 +1,6 @@
 package predict
 
 import (
-	"encoding/binary"
 	"sync"
 
 	"hged/internal/core"
@@ -31,18 +30,29 @@ type pairCache struct {
 	mu sync.Mutex
 	// full memoizes full-graph σ (Problem 1) by node pair.
 	full map[uint64]cacheEntry
-	// ctx memoizes induced-context σ by context key + node pair.
-	ctx map[string]cacheEntry
+	// ctx memoizes induced-context σ by interned context id + node pair.
+	ctx map[ctxPair]cacheEntry
 	// fullWait and ctxWait register in-flight computations; waiters block
 	// on the channel and then re-read the memo.
 	fullWait map[uint64]chan struct{}
-	ctxWait  map[string]chan struct{}
-	// egos caches full-graph ego networks for Sigma/Explain.
-	egos     map[hypergraph.NodeID]*hypergraph.Hypergraph
-	computed int
-	hits     int
-	deduped  int
-	expanded int64
+	ctxWait  map[ctxPair]chan struct{}
+	// Context interner: canonical sorted node sets mapped to dense int32
+	// ids, hashed with collision-checked buckets (see internCtx).
+	ctxBuckets map[uint64][]int32
+	ctxSets    [][]hypergraph.NodeID
+	computed   int
+	hits       int
+	deduped    int
+	expanded   int64
+}
+
+// ctxPair is the comparable memo key for an induced-context σ entry: an
+// interned context id plus the canonicalized node pair. It replaces the
+// previous string key (context bytes + packed pair), removing a string
+// build per lookup.
+type ctxPair struct {
+	ctx  int32
+	u, v hypergraph.NodeID
 }
 
 // cacheEntry is an exact distance (Exact=true) or a proven lower bound:
@@ -55,17 +65,36 @@ type cacheEntry struct {
 
 func newPairCache(g *hypergraph.Hypergraph, o Options, metric PairMetric) *pairCache {
 	return &pairCache{
-		g:        g,
-		solver:   o.Algorithm,
-		maxEgo:   o.MaxEgoNodes,
-		maxExp:   o.MaxExpansions,
-		metric:   metric,
-		full:     make(map[uint64]cacheEntry),
-		ctx:      make(map[string]cacheEntry),
-		fullWait: make(map[uint64]chan struct{}),
-		ctxWait:  make(map[string]chan struct{}),
-		egos:     make(map[hypergraph.NodeID]*hypergraph.Hypergraph),
+		g:          g,
+		solver:     o.Algorithm,
+		maxEgo:     o.MaxEgoNodes,
+		maxExp:     o.MaxExpansions,
+		metric:     metric,
+		full:       make(map[uint64]cacheEntry),
+		ctx:        make(map[ctxPair]cacheEntry),
+		fullWait:   make(map[uint64]chan struct{}),
+		ctxWait:    make(map[ctxPair]chan struct{}),
+		ctxBuckets: make(map[uint64][]int32),
 	}
+}
+
+// internCtx returns the dense id of the context identified by the sorted
+// node set, assigning a fresh one on first sight. Hash collisions are
+// resolved by comparing the actual sets, so distinct contexts never share an
+// id. The slice is retained; callers must not mutate it afterwards.
+func (c *pairCache) internCtx(nodes []hypergraph.NodeID) int32 {
+	k := hashNodeIDs(nodes)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.ctxBuckets[k] {
+		if nodeSetsEqual(c.ctxSets[id], nodes) {
+			return id
+		}
+	}
+	id := int32(len(c.ctxSets))
+	c.ctxSets = append(c.ctxSets, nodes)
+	c.ctxBuckets[k] = append(c.ctxBuckets[k], id)
+	return id
 }
 
 func pairKey(u, v hypergraph.NodeID) uint64 {
@@ -75,20 +104,13 @@ func pairKey(u, v hypergraph.NodeID) uint64 {
 	return uint64(uint32(u))<<32 | uint64(uint32(v))
 }
 
-// ctxPairKey builds the memo key for an induced-context σ entry: the
-// canonical context key, a separator, then both node IDs in fixed-width
-// little-endian form. The fixed-width suffix keeps the key unambiguous for
-// any context string and any NodeID width.
-func ctxPairKey(ctx string, u, v hypergraph.NodeID) string {
+// ctxPairKey builds the comparable memo key for an induced-context σ entry,
+// canonicalizing the pair order.
+func ctxPairKey(ctx int32, u, v hypergraph.NodeID) ctxPair {
 	if u > v {
 		u, v = v, u
 	}
-	b := make([]byte, len(ctx)+1+16)
-	copy(b, ctx)
-	b[len(ctx)] = '|'
-	binary.LittleEndian.PutUint64(b[len(ctx)+1:], uint64(int64(u)))
-	binary.LittleEndian.PutUint64(b[len(ctx)+9:], uint64(int64(v)))
-	return string(b)
+	return ctxPair{ctx: ctx, u: u, v: v}
 }
 
 // answer resolves a cached entry against a budget: hit=false means the
@@ -127,7 +149,7 @@ func (c *pairCache) fullDistance(u, v hypergraph.NodeID, budget int) (int, bool)
 			c.fullWait[key] = ch
 			c.mu.Unlock()
 
-			eu, ev := c.ego(u), c.ego(v)
+			eu, ev := c.g.Ego(u), c.g.Ego(v)
 			guarded := c.maxEgo > 0 && (eu.NumNodes() > c.maxEgo || ev.NumNodes() > c.maxEgo)
 			var e cacheEntry
 			if !guarded {
@@ -156,9 +178,9 @@ func (c *pairCache) fullDistance(u, v hypergraph.NodeID, budget int) (int, bool)
 }
 
 // contextDistance returns σ inside the induced sub-hypergraph sub (whose
-// canonical node-set key is ctxKey) between local nodes uL and vL, which
-// correspond to original nodes u and v.
-func (c *pairCache) contextDistance(ctxKey string, sub *hypergraph.Hypergraph, uL, vL, u, v hypergraph.NodeID, budget int) (int, bool) {
+// interned context id is ctxID, see internCtx) between local nodes uL and
+// vL, which correspond to original nodes u and v.
+func (c *pairCache) contextDistance(ctxID int32, sub *hypergraph.Hypergraph, uL, vL, u, v hypergraph.NodeID, budget int) (int, bool) {
 	if u == v {
 		return 0, true
 	}
@@ -167,7 +189,7 @@ func (c *pairCache) contextDistance(ctxKey string, sub *hypergraph.Hypergraph, u
 		// memoize by pair only.
 		return c.metric(c.g, u, v, budget)
 	}
-	key := ctxPairKey(ctxKey, u, v)
+	key := ctxPairKey(ctxID, u, v)
 	for {
 		c.mu.Lock()
 		if e, ok := c.ctx[key]; ok {
@@ -230,18 +252,4 @@ func (c *pairCache) solve(eu, ev *hypergraph.Hypergraph, budget int) cacheEntry 
 	// upper bound rather than the exact optimum; it still certifies
 	// "within budget".
 	return cacheEntry{Dist: int32(res.Distance), Exact: true}
-}
-
-func (c *pairCache) ego(v hypergraph.NodeID) *hypergraph.Hypergraph {
-	c.mu.Lock()
-	e, ok := c.egos[v]
-	c.mu.Unlock()
-	if ok {
-		return e
-	}
-	e = c.g.Ego(v)
-	c.mu.Lock()
-	c.egos[v] = e
-	c.mu.Unlock()
-	return e
 }

@@ -8,46 +8,42 @@ import (
 	"hged/internal/hypergraph"
 )
 
-// TestCtxPairKeyCollisionFree checks that distinct (context, pair) inputs
-// never share a memo key: the pair suffix is fixed-width, so a context
-// string can never bleed into the node IDs (the regression the hand-rolled
-// byte packing invited).
-func TestCtxPairKeyCollisionFree(t *testing.T) {
-	type q struct {
-		ctx  string
-		u, v hypergraph.NodeID
+// TestCtxInternerCollisionFree checks that distinct context node sets never
+// share an interned id (collision-checked hashing), that equal sets — even
+// via distinct slices — intern to the same id, and that the memo key
+// canonicalizes the pair order.
+func TestCtxInternerCollisionFree(t *testing.T) {
+	c := newPairCache(twoCommunities(), Options{Lambda: 3, Tau: 5, MaxEgoNodes: 64}, nil)
+	sets := [][]hypergraph.NodeID{
+		{},
+		{0},
+		{0, 1},
+		{0, 2},
+		{1, 2},
+		{0, 1, 2},
+		{0, 256},   // ID that spans more than one byte
+		{1, 65536}, // ...and more than two
 	}
-	queries := []q{
-		{"", 0, 1},
-		{"", 1, 0}, // canonicalized: same as {"", 0, 1}
-		{"", 0, 2},
-		{"", 0, 256},   // ID that spans more than one byte
-		{"", 1, 65536}, // ...and more than two
-		{"a", 0, 1},
-		{"a|", 0, 1}, // separator character inside the context
-		{"ab", 0, 1},
-		{"\x01\x00", 0, 1},
-		{"\x01", 0, 257}, // ctx byte vs ID byte confusion probe
+	ids := make(map[int32][]hypergraph.NodeID)
+	for _, s := range sets {
+		id := c.internCtx(s)
+		if prev, seen := ids[id]; seen {
+			t.Fatalf("interner collision: %v and %v both map to id %d", prev, s, id)
+		}
+		ids[id] = s
 	}
-	keys := make(map[string]q)
-	for _, x := range queries {
-		k := ctxPairKey(x.ctx, x.u, x.v)
-		prev, seen := keys[k]
-		cu, cv := x.u, x.v
-		if cu > cv {
-			cu, cv = cv, cu
+	for _, s := range sets {
+		again := append([]hypergraph.NodeID(nil), s...)
+		id := c.internCtx(again)
+		if !nodeSetsEqual(ids[id], s) {
+			t.Fatalf("re-interning %v yielded id %d of %v", s, id, ids[id])
 		}
-		pu, pv := prev.u, prev.v
-		if pu > pv {
-			pu, pv = pv, pu
-		}
-		if seen && !(prev.ctx == x.ctx && pu == cu && pv == cv) {
-			t.Fatalf("key collision: %+v and %+v both map to %q", prev, x, k)
-		}
-		keys[k] = x
 	}
-	if ctxPairKey("c", 3, 9) != ctxPairKey("c", 9, 3) {
+	if ctxPairKey(7, 3, 9) != ctxPairKey(7, 9, 3) {
 		t.Fatal("ctxPairKey must canonicalize the pair order")
+	}
+	if ctxPairKey(7, 3, 9) == ctxPairKey(8, 3, 9) {
+		t.Fatal("distinct contexts must produce distinct keys")
 	}
 }
 

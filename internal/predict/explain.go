@@ -76,7 +76,7 @@ func (p *Predictor) ExplainPrediction(pred Prediction) (*PredictionExplanation, 
 // EGO(u) and EGO(v), independent of any threshold. This is the "why are
 // these two nodes similar" artifact the paper's title promises.
 func (p *Predictor) Explain(u, v hypergraph.NodeID) (*Explanation, error) {
-	eu, ev := p.cache.ego(u), p.cache.ego(v)
+	eu, ev := p.g.Ego(u), p.g.Ego(v)
 	if p.opts.MaxEgoNodes > 0 && (eu.NumNodes() > p.opts.MaxEgoNodes || ev.NumNodes() > p.opts.MaxEgoNodes) {
 		return nil, fmt.Errorf("predict: ego networks of %d and %d exceed the size guard (%d)", u, v, p.opts.MaxEgoNodes)
 	}

@@ -1,0 +1,67 @@
+package predict
+
+import "hged/internal/hypergraph"
+
+// hashNodeIDs hashes a sorted node set with 64-bit FNV-1a, folding in the
+// length so prefixes hash differently. Callers never rely on uniqueness:
+// every use verifies the actual node set on a hash match, so collisions cost
+// a comparison, never a false merge.
+func hashNodeIDs(nodes []hypergraph.NodeID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range nodes {
+		h ^= uint64(uint32(v))
+		h *= prime64
+	}
+	h ^= uint64(len(nodes))
+	h *= prime64
+	return h
+}
+
+func nodeSetsEqual(a, b []hypergraph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeSetSet is a collision-checked set of node sets keyed by hash: the
+// allocation-light replacement for the previous map[string]struct{} keyed by
+// varint-encoded member lists. Inputs must be sorted ascending.
+type nodeSetSet struct {
+	buckets map[uint64][][]hypergraph.NodeID
+}
+
+func newNodeSetSet(sizeHint int) *nodeSetSet {
+	return &nodeSetSet{buckets: make(map[uint64][][]hypergraph.NodeID, sizeHint)}
+}
+
+func (s *nodeSetSet) contains(nodes []hypergraph.NodeID) bool {
+	for _, cand := range s.buckets[hashNodeIDs(nodes)] {
+		if nodeSetsEqual(cand, nodes) {
+			return true
+		}
+	}
+	return false
+}
+
+// insert adds the set (retaining the slice; callers must not mutate it
+// afterwards) and reports whether it was absent.
+func (s *nodeSetSet) insert(nodes []hypergraph.NodeID) bool {
+	k := hashNodeIDs(nodes)
+	for _, cand := range s.buckets[k] {
+		if nodeSetsEqual(cand, nodes) {
+			return false
+		}
+	}
+	s.buckets[k] = append(s.buckets[k], nodes)
+	return true
+}

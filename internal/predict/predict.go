@@ -282,24 +282,22 @@ func (p *Predictor) RunContext(ctx context.Context, progress func(done, total in
 		return nil, err
 	}
 
-	existing := make(map[string]struct{}, p.g.NumEdges())
+	existing := newNodeSetSet(p.g.NumEdges())
 	if !p.opts.IncludeExisting {
 		for _, e := range p.g.Edges() {
-			existing[edgeKeyOf(e.Nodes)] = struct{}{}
+			existing.insert(e.Nodes)
 		}
 	}
-	seen := make(map[string]struct{})
+	seen := newNodeSetSet(0)
 	var out []Prediction
 	for _, preds := range results {
 		for _, pr := range preds {
-			key := edgeKeyOf(pr.Nodes)
-			if _, dup := seen[key]; dup {
+			if !seen.insert(pr.Nodes) {
 				continue
 			}
-			if _, ex := existing[key]; ex {
+			if existing.contains(pr.Nodes) {
 				continue
 			}
-			seen[key] = struct{}{}
 			out = append(out, pr)
 		}
 	}
@@ -392,7 +390,7 @@ func (p *Predictor) admit(s []hypergraph.NodeID, w hypergraph.NodeID) bool {
 	if len(nbrs) <= 1 {
 		return false // isolated inside the candidate: no structural tie
 	}
-	ctx := edgeKeyOf(sortedCopy(c))
+	ctx := p.cache.internCtx(sortedCopy(c))
 	for _, vLocal := range nbrs {
 		if vLocal == wLocal {
 			continue
@@ -413,7 +411,7 @@ func (p *Predictor) peel(s []hypergraph.NodeID) []hypergraph.NodeID {
 	lambdaTau := p.opts.Lambda * p.opts.Tau
 	for len(s) >= 2 {
 		sub, _ := p.inducedWithIndex(s)
-		ctx := edgeKeyOf(s)
+		ctx := p.cache.internCtx(s)
 		violations := make(map[hypergraph.NodeID]int)
 		total := 0
 		n := sub.NumNodes()
@@ -503,19 +501,6 @@ func sortedCopy(nodes []hypergraph.NodeID) []hypergraph.NodeID {
 	out := append([]hypergraph.NodeID(nil), nodes...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
-}
-
-func edgeKeyOf(nodes []hypergraph.NodeID) string {
-	b := make([]byte, 0, len(nodes)*4)
-	for _, v := range nodes {
-		x := uint32(v)
-		for x >= 0x80 {
-			b = append(b, byte(x)|0x80)
-			x >>= 7
-		}
-		b = append(b, byte(x))
-	}
-	return string(b)
 }
 
 func lessNodeSets(a, b []hypergraph.NodeID) bool {

@@ -47,7 +47,7 @@ func (p *Predictor) cohesion(s []hypergraph.NodeID) (int, float64) {
 		return 0, 0
 	}
 	sub, _ := p.inducedWithIndex(s)
-	ctx := edgeKeyOf(s)
+	ctx := p.cache.internCtx(s)
 	lambdaTau := p.opts.Lambda * p.opts.Tau
 	maxScore, total, pairs := 0, 0, 0
 	n := sub.NumNodes()

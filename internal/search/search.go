@@ -129,6 +129,8 @@ func (ix *Index) Search(q *hypergraph.Hypergraph, tau int) ([]Match, FilterStats
 	}
 	qs := signatureOf(q)
 	stats := FilterStats{Candidates: len(ix.graphs)}
+	sv := core.AcquireSolver()
+	defer core.ReleaseSolver(sv)
 	var out []Match
 	for i, s := range ix.sigs {
 		switch {
@@ -143,7 +145,7 @@ func (ix *Index) Search(q *hypergraph.Hypergraph, tau int) ([]Match, FilterStats
 			continue
 		}
 		stats.Verified++
-		d, within := ix.verify(q, ix.graphs[i], tau)
+		d, within := ix.verify(sv, q, ix.graphs[i], tau)
 		if within {
 			stats.VerifiedWithin++
 			out = append(out, Match{ID: i, Distance: d})
@@ -158,14 +160,16 @@ func (ix *Index) Search(q *hypergraph.Hypergraph, tau int) ([]Match, FilterStats
 	return out, stats, nil
 }
 
-func (ix *Index) verify(q, g *hypergraph.Hypergraph, tau int) (int, bool) {
+// verify runs one exact check on the caller's solver; one solver serves all
+// verifications of a query, keeping the search loop allocation-light.
+func (ix *Index) verify(sv *core.Solver, q, g *hypergraph.Hypergraph, tau int) (int, bool) {
 	if tau == 0 {
 		if hypergraph.Isomorphic(q, g) {
 			return 0, true
 		}
 		return 0, false
 	}
-	res := core.BFS(q, g, core.Options{Threshold: tau, MaxExpansions: ix.MaxExpansions})
+	res := sv.BFS(q, g, core.Options{Threshold: tau, MaxExpansions: ix.MaxExpansions})
 	if res.Exceeded {
 		return 0, false
 	}
@@ -183,6 +187,8 @@ func (ix *Index) Nearest(q *hypergraph.Hypergraph, k int) ([]Match, FilterStats,
 	}
 	qs := signatureOf(q)
 	stats := FilterStats{Candidates: len(ix.graphs)}
+	sv := core.AcquireSolver()
+	defer core.ReleaseSolver(sv)
 
 	type cand struct {
 		id    int
@@ -213,9 +219,9 @@ func (ix *Index) Nearest(q *hypergraph.Hypergraph, k int) ([]Match, FilterStats,
 		tau := worst()
 		var res core.Result
 		if tau >= 1<<30 {
-			res = core.BFS(q, ix.graphs[c.id], core.Options{MaxExpansions: ix.MaxExpansions})
+			res = sv.BFS(q, ix.graphs[c.id], core.Options{MaxExpansions: ix.MaxExpansions})
 		} else {
-			res = core.BFS(q, ix.graphs[c.id], core.Options{Threshold: tau, MaxExpansions: ix.MaxExpansions})
+			res = sv.BFS(q, ix.graphs[c.id], core.Options{Threshold: tau, MaxExpansions: ix.MaxExpansions})
 		}
 		stats.Verified++
 		if res.Exceeded {

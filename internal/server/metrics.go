@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hged"
+	"hged/internal/core"
 )
 
 // latencyBounds are the histogram bucket upper bounds in milliseconds; the
@@ -129,6 +130,12 @@ type MetricsSnapshot struct {
 		Queued    int   `json:"queued"`
 		Running   int   `json:"running"`
 	} `json:"jobs"`
+	// SolverPool reports the process-wide pooled-solver reuse rate: hits
+	// are acquisitions served by a warm Solver, misses allocated fresh.
+	SolverPool struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"solverPool"`
 }
 
 // snapshot merges the counter state with the registry's live σ caches and
@@ -168,5 +175,6 @@ func (m *Metrics) snapshot(reg *Registry, jobs *JobManager) MetricsSnapshot {
 	if jobs != nil {
 		snap.Jobs.Queued, snap.Jobs.Running = jobs.gauges()
 	}
+	snap.SolverPool.Hits, snap.SolverPool.Misses = core.SolverPoolStats()
 	return snap
 }
