@@ -419,15 +419,7 @@ func suite() []benchmark {
 			b.ReportMetric(float64(expanded)/float64(b.N), "expansions/op")
 		}},
 		{"Search/range", func(b *testing.B) {
-			g := plantedHost()
-			picks := egoPicks(g, 12, 4, 12)
-			corpus := make([]*hged.Hypergraph, len(picks))
-			for i, v := range picks {
-				corpus[i] = g.Ego(v)
-			}
-			ix := search.Build(corpus)
-			ix.MaxExpansions = 50_000
-			q := corpus[0]
+			ix, q := searchWorkload()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := ix.Search(q, 6); err != nil {
@@ -435,5 +427,51 @@ func suite() []benchmark {
 				}
 			}
 		}},
+		// The -par variants run the identical workload with a 4-worker
+		// verification pool; the engine guarantees byte-identical output,
+		// so any delta is pure scheduling cost (or, with spare cores, gain).
+		{"Search/range-par", func(b *testing.B) {
+			ix, q := searchWorkload()
+			ix.Parallelism = 4
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ix.Search(q, 6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Search/knn-seq", func(b *testing.B) {
+			ix, q := searchWorkload()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ix.Nearest(q, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Search/knn-par", func(b *testing.B) {
+			ix, q := searchWorkload()
+			ix.Parallelism = 4
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ix.Nearest(q, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
+}
+
+// searchWorkload builds the shared similarity-search corpus: 12 ego
+// networks of the planted host, queried with the first of them.
+func searchWorkload() (*search.Index, *hged.Hypergraph) {
+	g := plantedHost()
+	picks := egoPicks(g, 12, 4, 12)
+	corpus := make([]*hged.Hypergraph, len(picks))
+	for i, v := range picks {
+		corpus[i] = g.Ego(v)
+	}
+	ix := search.Build(corpus)
+	ix.MaxExpansions = 50_000
+	return ix, corpus[0]
 }

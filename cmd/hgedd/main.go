@@ -6,7 +6,11 @@
 //
 //	hgedd [-addr :8080] [-load name=path.hg]... [-benson name=nverts,simplices[,labels]]...
 //	      [-sync-limit N] [-workers N] [-queue N] [-request-timeout 30s] [-drain 30s]
-//	      [-pprof addr]
+//	      [-job-retention N] [-pprof addr]
+//
+// -job-retention caps how many finished (done/failed/cancelled) HEP jobs
+// stay inspectable via GET /v1/jobs; the oldest terminal jobs are evicted
+// first. Queued and running jobs are never evicted.
 //
 // -pprof starts a second HTTP listener serving net/http/pprof under
 // /debug/pprof/ (empty = disabled). It is a separate listener so profiling
@@ -65,6 +69,7 @@ func run() error {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "synchronous request deadline")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for in-flight jobs")
 	maxUpload := flag.Int64("max-upload", 32<<20, "max graph upload body bytes")
+	jobRetention := flag.Int("job-retention", 256, "finished HEP jobs kept for inspection (oldest evicted first)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	flag.Func("load", "name=path: load a .hg or .json graph at startup (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -94,6 +99,7 @@ func run() error {
 		RequestTimeout: *reqTimeout,
 		Workers:        *workers,
 		QueueDepth:     *queue,
+		JobRetention:   *jobRetention,
 		MaxUploadBytes: *maxUpload,
 		Logger:         logger,
 	})

@@ -7,12 +7,19 @@
 //	hgsearch -q query.hg -tau 5 corpus1.hg corpus2.hg ...
 //	hgsearch -q query.hg -k 3 corpus1.hg corpus2.hg ...
 //	hgsearch -q query.hg -tau 5 -egos G.hg     # corpus = all ego networks of G
+//	hgsearch -q query.hg -k 3 -parallel 8 ...  # verify on 8 workers
+//
+// -parallel fans the verification stage over that many workers; the output
+// is byte-identical to a sequential run. Ctrl-C cancels a scan in progress.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hged/internal/hgio"
 	"hged/internal/hypergraph"
@@ -32,6 +39,7 @@ func run() error {
 	k := flag.Int("k", 0, "k-nearest-neighbour search (> 0)")
 	egos := flag.Bool("egos", false, "treat the single corpus file as a host graph and search its ego networks")
 	maxExp := flag.Int64("max-expansions", 0, "per-verification expansion budget (0 = default)")
+	parallel := flag.Int("parallel", 0, "verification workers (≤ 1 = sequential)")
 	flag.Parse()
 
 	if *query == "" {
@@ -77,13 +85,17 @@ func run() error {
 
 	ix := search.Build(corpus)
 	ix.MaxExpansions = *maxExp
+	ix.Parallelism = *parallel
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var matches []search.Match
 	var stats search.FilterStats
 	if *tau >= 0 {
-		matches, stats, err = ix.Search(q, *tau)
+		matches, stats, err = ix.SearchContext(ctx, q, *tau)
 	} else {
-		matches, stats, err = ix.Nearest(q, *k)
+		matches, stats, err = ix.NearestContext(ctx, q, *k)
 	}
 	if err != nil {
 		return err
@@ -91,9 +103,9 @@ func run() error {
 	for _, m := range matches {
 		fmt.Printf("HGED=%-4d %s\n", m.Distance, describe(m.ID))
 	}
-	fmt.Printf("corpus=%d pruned: count=%d label=%d card=%d; verified=%d (within=%d)\n",
+	fmt.Printf("corpus=%d pruned: count=%d label=%d card=%d bound=%d; verified=%d (within=%d)\n",
 		stats.Candidates, stats.PrunedByCount, stats.PrunedByLabel, stats.PrunedByCard,
-		stats.Verified, stats.VerifiedWithin)
+		stats.PrunedByBound, stats.Verified, stats.VerifiedWithin)
 	return nil
 }
 

@@ -113,11 +113,15 @@ func PrecisionAtK(ranked [][]NodeID, held []Hyperedge, opts MatchOptions, ks []i
 
 // Similarity search (internal/search).
 type (
-	// SearchIndex is a filter-and-verify HGED similarity-search index.
+	// SearchIndex is a filter-and-verify HGED similarity-search index. Set
+	// its Parallelism field to fan verification over a worker pool; results
+	// and stats are byte-identical to the sequential scan at any setting.
+	// SearchContext/NearestContext accept a context for cancellation.
 	SearchIndex = search.Index
 	// SearchMatch is one search result.
 	SearchMatch = search.Match
-	// FilterStats reports how candidates were pruned.
+	// FilterStats reports how candidates were eliminated: the four prune
+	// counters plus Verified always partition Candidates.
 	FilterStats = search.FilterStats
 )
 

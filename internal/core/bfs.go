@@ -314,7 +314,7 @@ func (s *bfsSearch) run(opts Options) Result {
 			continue // stale against a tightened incumbent
 		}
 		expanded++
-		if expanded > budget {
+		if expanded > budget || opts.cancelled(expanded) {
 			capped = true
 			break
 		}
@@ -332,7 +332,7 @@ func (s *bfsSearch) run(opts Options) Result {
 		}
 	}
 
-	res := Result{Expanded: expanded, Exact: !capped}
+	res := Result{Expanded: expanded, Exact: !capped, Cancelled: capped && opts.ctxCancelled()}
 	switch {
 	case goal != noParent:
 		res.Distance = int(s.slab[goal].g)

@@ -43,7 +43,7 @@ func DFS(g, h *hypergraph.Hypergraph, opts Options) Result {
 			return
 		}
 		expanded++
-		if expanded > budget {
+		if expanded > budget || opts.cancelled(expanded) {
 			capped = true
 			return
 		}
@@ -52,7 +52,7 @@ func DFS(g, h *hypergraph.Hypergraph, opts Options) Result {
 		}
 		if level == N {
 			edgeBudget := limit() - accNode
-			edgeCost, edgeMap, edgeCapped := p.edgeCostPermutationMapped(nodeMap, edgeBudget, budget-expanded, &expanded)
+			edgeCost, edgeMap, edgeCapped := p.edgeCostPermutationMapped(nodeMap, edgeBudget, budget-expanded, &expanded, opts)
 			if edgeCapped {
 				capped = true
 			}
@@ -83,7 +83,7 @@ func DFS(g, h *hypergraph.Hypergraph, opts Options) Result {
 	}
 	rec(0, 0)
 
-	res := Result{Distance: best, Exact: !capped, Expanded: expanded}
+	res := Result{Distance: best, Exact: !capped, Expanded: expanded, Cancelled: capped && opts.ctxCancelled()}
 	if bestMapping != nil {
 		res.Path = p.extractPath(bestMapping)
 	}
@@ -97,10 +97,11 @@ func DFS(g, h *hypergraph.Hypergraph, opts Options) Result {
 // edgeCostPermutationMapped is edgeCostPermutation returning the argmin edge
 // mapping as well; it returns (budget, nil) when no mapping beats the
 // budget. The enumeration spends at most maxSteps recursive steps, adding
-// them to *steps; when it runs out it reports capped=true and returns its
-// best-so-far (which is then only an upper bound). With UseHungarianEDC
-// handled by the caller this remains the Algorithm-2 enumeration.
-func (p *pair) edgeCostPermutationMapped(nodeMap []int, budget int, maxSteps int64, steps *int64) (cost int, perm []int, capped bool) {
+// them to *steps; when it runs out (or opts.Context is cancelled) it
+// reports capped=true and returns its best-so-far (which is then only an
+// upper bound). With UseHungarianEDC handled by the caller this remains the
+// Algorithm-2 enumeration.
+func (p *pair) edgeCostPermutationMapped(nodeMap []int, budget int, maxSteps int64, steps *int64, opts Options) (cost int, perm []int, capped bool) {
 	M := p.paddedM
 	if M == 0 {
 		if budget <= 0 {
@@ -119,7 +120,7 @@ func (p *pair) edgeCostPermutationMapped(nodeMap []int, budget int, maxSteps int
 			return
 		}
 		spent++
-		if spent > maxSteps {
+		if spent > maxSteps || opts.cancelled(spent) {
 			capped = true
 			return
 		}
@@ -179,7 +180,7 @@ func dfsHungarian(g, h *hypergraph.Hypergraph, opts Options) Result {
 			return
 		}
 		expanded++
-		if expanded > budget {
+		if expanded > budget || opts.cancelled(expanded) {
 			capped = true
 			return
 		}
@@ -221,7 +222,7 @@ func dfsHungarian(g, h *hypergraph.Hypergraph, opts Options) Result {
 	}
 	rec(0, 0)
 
-	res := Result{Distance: best, Exact: !capped, Expanded: expanded}
+	res := Result{Distance: best, Exact: !capped, Expanded: expanded, Cancelled: capped && opts.ctxCancelled()}
 	if bestMapping != nil {
 		res.Path = p.extractPath(bestMapping)
 	}

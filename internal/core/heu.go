@@ -31,7 +31,7 @@ func HEU(g, h *hypergraph.Hypergraph, opts Options) Result {
 			return
 		}
 		expanded++
-		if expanded > budget {
+		if expanded > budget || opts.cancelled(expanded) {
 			capped = true
 			return
 		}
@@ -61,7 +61,7 @@ func HEU(g, h *hypergraph.Hypergraph, opts Options) Result {
 	}
 	rec(0, 0)
 
-	res := Result{Distance: best, Exact: !capped, Expanded: expanded}
+	res := Result{Distance: best, Exact: !capped, Expanded: expanded, Cancelled: capped && opts.ctxCancelled()}
 	if !opts.unbounded() && best > opts.Threshold {
 		res.Exceeded = true
 		if !capped {

@@ -1,8 +1,16 @@
 package core
 
+import "context"
+
 // Options configures the HGED solvers. The zero value means: no threshold,
 // default expansion budget, all pruning strategies enabled, seed 1.
 type Options struct {
+	// Context, when non-nil, makes the solver cancellable: it is polled
+	// every cancelCheckEvery expansions alongside the MaxExpansions
+	// accounting, and once cancelled the solver stops like a budget
+	// exhaustion — best known upper bound, Exact=false — with
+	// Cancelled=true. Nil means never cancelled.
+	Context context.Context
 	// Threshold is the verification threshold τ. When > 0, the solver may
 	// stop as soon as it can prove HGED > τ, returning Exceeded=true; the
 	// paper's Strategy 2 notes this "largely reduces running time" and the
@@ -71,6 +79,20 @@ func (o Options) seed() int64 {
 
 func (o Options) unbounded() bool { return o.Threshold <= 0 }
 
+// cancelCheckEvery is the cancellation polling stride: Options.Context is
+// consulted once per this many expansions, keeping the check off the hot
+// path while bounding cancellation latency to a few thousand state visits.
+const cancelCheckEvery = 1024
+
+// ctxCancelled reports whether the configured context has been cancelled.
+func (o Options) ctxCancelled() bool { return o.Context != nil && o.Context.Err() != nil }
+
+// cancelled is the periodic poll: true when a context is set, the expansion
+// counter is on the polling stride, and the context has been cancelled.
+func (o Options) cancelled(expanded int64) bool {
+	return o.Context != nil && expanded%cancelCheckEvery == 0 && o.Context.Err() != nil
+}
+
 // Result reports the outcome of an HGED computation.
 type Result struct {
 	// Distance is the computed edit distance. When Exceeded is true it is
@@ -86,6 +108,10 @@ type Result struct {
 	// Exact is true when the solver proved optimality (or exceedance);
 	// false when the expansion budget was exhausted first.
 	Exact bool
+	// Cancelled reports that Options.Context was cancelled before the
+	// solver finished; the result is then a best-effort upper bound, as
+	// after a budget exhaustion (Exact=false).
+	Cancelled bool
 	// Expanded counts search states expanded (search effort).
 	Expanded int64
 }

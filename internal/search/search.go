@@ -5,11 +5,23 @@
 // (Sanfeliu & Fu; Zhao et al.; Chang et al. — refs [25], [27]–[30]):
 // cheap per-graph signatures prune candidates with admissible lower bounds,
 // and only survivors pay for an exact HGED-BFS verification.
+//
+// Verification is embarrassingly parallel, so an Index can fan it out over
+// a bounded pool of pooled solvers (Index.Parallelism). The engine is
+// deterministic by construction: the candidate set and every verification
+// threshold are fixed before workers start, workers write results into
+// per-candidate slots, and the merge walks those slots in candidate order —
+// so matches and FilterStats are byte-identical to the sequential scan. A
+// cancelled context aborts the scan between (and, via core.Options.Context,
+// inside) verifications with an error wrapping ctx.Err().
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"hged/internal/core"
 	"hged/internal/hypergraph"
@@ -87,6 +99,10 @@ type Index struct {
 	sigs   []signature
 	// MaxExpansions caps each verification search (0 = solver default).
 	MaxExpansions int64
+	// Parallelism is the number of verification workers, each with its own
+	// pooled solver. Values ≤ 1 verify sequentially on one solver. Matches
+	// and stats are identical at every setting; only wall-clock changes.
+	Parallelism int
 }
 
 // Build indexes the corpus. The graphs are retained by reference and must
@@ -112,83 +128,182 @@ type Match struct {
 }
 
 // FilterStats reports how candidates were eliminated during one search.
+// The fields partition the corpus: PrunedByCount + PrunedByLabel +
+// PrunedByCard + PrunedByBound + Verified == Candidates.
 type FilterStats struct {
-	Candidates     int // corpus size
-	PrunedByCount  int
-	PrunedByLabel  int
-	PrunedByCard   int
+	Candidates    int // corpus size
+	PrunedByCount int
+	PrunedByLabel int
+	PrunedByCard  int
+	// PrunedByBound counts kNN candidates never verified because their
+	// combined lower bound already exceeded the k-th best verified
+	// distance (the bound-ordered early stop). Always 0 in range search.
+	PrunedByBound  int
 	Verified       int // exact HGED verifications performed
 	VerifiedWithin int // verifications that ended ≤ τ
+}
+
+// unboundedTau is the sentinel kNN threshold while fewer than k candidates
+// are verified (matches the solver's 1<<30 "no incumbent" convention).
+const unboundedTau = 1 << 30
+
+// sortMatches orders matches ascending by distance, ties by ascending ID.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(a, b int) bool {
+		if ms[a].Distance != ms[b].Distance {
+			return ms[a].Distance < ms[b].Distance
+		}
+		return ms[a].ID < ms[b].ID
+	})
 }
 
 // Search returns all corpus members g with HGED(q, g) ≤ tau, ascending by
 // distance then id, along with the filter statistics.
 func (ix *Index) Search(q *hypergraph.Hypergraph, tau int) ([]Match, FilterStats, error) {
+	return ix.SearchContext(context.Background(), q, tau)
+}
+
+// SearchContext is Search with cancellation: when ctx is cancelled
+// mid-scan it returns promptly with the stats gathered so far and an error
+// wrapping ctx.Err().
+func (ix *Index) SearchContext(ctx context.Context, q *hypergraph.Hypergraph, tau int) ([]Match, FilterStats, error) {
 	if tau < 0 {
 		return nil, FilterStats{}, fmt.Errorf("search: negative threshold %d", tau)
 	}
 	qs := signatureOf(q)
 	stats := FilterStats{Candidates: len(ix.graphs)}
-	sv := core.AcquireSolver()
-	defer core.ReleaseSolver(sv)
-	var out []Match
+	survivors := make([]int, 0, len(ix.sigs))
 	for i, s := range ix.sigs {
 		switch {
 		case countFilter(qs, s) > tau:
 			stats.PrunedByCount++
-			continue
 		case labelFilter(qs, s) > tau:
 			stats.PrunedByLabel++
-			continue
 		case cardFilter(qs, s) > tau:
 			stats.PrunedByCard++
-			continue
-		}
-		stats.Verified++
-		d, within := ix.verify(sv, q, ix.graphs[i], tau)
-		if within {
-			stats.VerifiedWithin++
-			out = append(out, Match{ID: i, Distance: d})
+		default:
+			survivors = append(survivors, i)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Distance != out[b].Distance {
-			return out[a].Distance < out[b].Distance
-		}
-		return out[a].ID < out[b].ID
+
+	type outcome struct {
+		d      int
+		within bool
+	}
+	results := make([]outcome, len(survivors))
+	done, err := ix.forEach(ctx, len(survivors), func(sv *core.Solver, j int) {
+		d, within := ix.verify(ctx, sv, q, ix.graphs[survivors[j]], tau)
+		results[j] = outcome{d: d, within: within}
 	})
+	stats.Verified = done
+	if err != nil {
+		return nil, stats, fmt.Errorf("search: range scan aborted after %d/%d verifications: %w",
+			done, len(survivors), err)
+	}
+	var out []Match
+	for j, r := range results {
+		if r.within {
+			stats.VerifiedWithin++
+			out = append(out, Match{ID: survivors[j], Distance: r.d})
+		}
+	}
+	sortMatches(out)
 	return out, stats, nil
 }
 
-// verify runs one exact check on the caller's solver; one solver serves all
-// verifications of a query, keeping the search loop allocation-light.
-func (ix *Index) verify(sv *core.Solver, q, g *hypergraph.Hypergraph, tau int) (int, bool) {
+// forEach runs n verification tasks, each on a pooled solver: sequentially
+// when Parallelism ≤ 1, otherwise on min(Parallelism, n) workers pulling
+// task indices from a shared counter. It reports how many tasks completed
+// and a non-nil error when ctx was cancelled before all n ran. Tasks must
+// write only state indexed by their own task number, so the caller's merge
+// over those slots is deterministic regardless of scheduling.
+func (ix *Index) forEach(ctx context.Context, n int, task func(sv *core.Solver, j int)) (int, error) {
+	workers := ix.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sv := core.AcquireSolver()
+		defer core.ReleaseSolver(sv)
+		for j := 0; j < n; j++ {
+			if ctx.Err() != nil {
+				return j, ctx.Err()
+			}
+			task(sv, j)
+		}
+		return n, nil
+	}
+	var (
+		next atomic.Int64
+		done atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sv := core.AcquireSolver()
+			defer core.ReleaseSolver(sv)
+			for {
+				j := int(next.Add(1) - 1)
+				if j >= n || ctx.Err() != nil {
+					return
+				}
+				task(sv, j)
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return int(done.Load()), err
+	}
+	return n, nil
+}
+
+// verify runs one exact check on the given solver. Each worker owns its
+// solver for the duration of a search, keeping verification allocation-light.
+func (ix *Index) verify(ctx context.Context, sv *core.Solver, q, g *hypergraph.Hypergraph, tau int) (int, bool) {
 	if tau == 0 {
 		if hypergraph.Isomorphic(q, g) {
 			return 0, true
 		}
 		return 0, false
 	}
-	res := sv.BFS(q, g, core.Options{Threshold: tau, MaxExpansions: ix.MaxExpansions})
-	if res.Exceeded {
+	res := sv.BFS(q, g, core.Options{Threshold: tau, MaxExpansions: ix.MaxExpansions, Context: ctx})
+	if res.Exceeded || res.Cancelled {
 		return 0, false
 	}
 	return res.Distance, true
 }
 
+// nearestRound is how many candidates Nearest verifies per threshold
+// round. The k-th-best threshold tightens only at round boundaries, so the
+// set of (candidate, threshold) verifications — and therefore matches and
+// stats, even when MaxExpansions caps a verification — is independent of
+// Parallelism.
+const nearestRound = 16
+
 // Nearest returns the k corpus members closest to q by HGED, ascending by
-// distance then id. It expands candidates in lower-bound order and stops
-// once the k-th best verified distance is no larger than the next
-// candidate's bound — each verification runs under the current k-th-best
-// threshold, so the search sharpens as it proceeds.
+// distance then id (equal distances resolve to the smaller ID). It expands
+// candidates in lower-bound order, round by round: each round verifies up
+// to nearestRound candidates under the k-th-best distance of the previous
+// rounds (shared with the workers through an atomically tightening
+// threshold) and stops once the next candidate's bound exceeds it; the
+// skipped tail is reported as PrunedByBound.
 func (ix *Index) Nearest(q *hypergraph.Hypergraph, k int) ([]Match, FilterStats, error) {
+	return ix.NearestContext(context.Background(), q, k)
+}
+
+// NearestContext is Nearest with cancellation: when ctx is cancelled
+// mid-scan it returns promptly with the stats gathered so far and an error
+// wrapping ctx.Err().
+func (ix *Index) NearestContext(ctx context.Context, q *hypergraph.Hypergraph, k int) ([]Match, FilterStats, error) {
 	if k <= 0 {
 		return nil, FilterStats{}, fmt.Errorf("search: k = %d, must be > 0", k)
 	}
 	qs := signatureOf(q)
 	stats := FilterStats{Candidates: len(ix.graphs)}
-	sv := core.AcquireSolver()
-	defer core.ReleaseSolver(sv)
 
 	type cand struct {
 		id    int
@@ -205,39 +320,64 @@ func (ix *Index) Nearest(q *hypergraph.Hypergraph, k int) ([]Match, FilterStats,
 		return cands[a].id < cands[b].id
 	})
 
-	var best []Match // sorted ascending by distance, capped at k
+	var best []Match // sorted ascending by (distance, id), capped at k
 	worst := func() int {
 		if len(best) < k {
-			return 1 << 30
+			return unboundedTau
 		}
 		return best[len(best)-1].Distance
 	}
-	for _, c := range cands {
-		if c.bound > worst() {
+	// sharedTau carries the current verification threshold to the workers;
+	// it only tightens, and only at round boundaries (while no worker
+	// runs), so every verification of a round sees the same value.
+	var sharedTau atomic.Int64
+	sharedTau.Store(unboundedTau)
+
+	pos := 0
+	for pos < len(cands) {
+		tau := worst()
+		if cands[pos].bound > tau {
 			break // every later candidate has an even larger bound
 		}
-		tau := worst()
-		var res core.Result
-		if tau >= 1<<30 {
-			res = sv.BFS(q, ix.graphs[c.id], core.Options{MaxExpansions: ix.MaxExpansions})
-		} else {
-			res = sv.BFS(q, ix.graphs[c.id], core.Options{Threshold: tau, MaxExpansions: ix.MaxExpansions})
+		sharedTau.Store(int64(tau))
+		// While best is underfilled every verification is unbounded, so
+		// take exactly the candidates needed to reach k before starting to
+		// tighten; afterwards tighten every nearestRound verifications.
+		size := nearestRound
+		if len(best) < k {
+			size = k - len(best)
 		}
-		stats.Verified++
-		if res.Exceeded {
-			continue
+		end := pos
+		for end < len(cands) && end-pos < size && cands[end].bound <= tau {
+			end++
 		}
-		stats.VerifiedWithin++
-		best = append(best, Match{ID: c.id, Distance: res.Distance})
-		sort.Slice(best, func(a, b int) bool {
-			if best[a].Distance != best[b].Distance {
-				return best[a].Distance < best[b].Distance
+		base := pos
+		results := make([]core.Result, end-pos)
+		done, err := ix.forEach(ctx, end-pos, func(sv *core.Solver, j int) {
+			opts := core.Options{MaxExpansions: ix.MaxExpansions, Context: ctx}
+			if t := int(sharedTau.Load()); t < unboundedTau {
+				opts.Threshold = t
 			}
-			return best[a].ID < best[b].ID
+			results[j] = sv.BFS(q, ix.graphs[cands[base+j].id], opts)
 		})
-		if len(best) > k {
-			best = best[:k]
+		stats.Verified += done
+		if err != nil {
+			return nil, stats, fmt.Errorf("search: kNN scan aborted after %d/%d candidates: %w",
+				base+done, len(cands), err)
 		}
+		for j := range results {
+			if results[j].Exceeded {
+				continue
+			}
+			stats.VerifiedWithin++
+			best = append(best, Match{ID: cands[base+j].id, Distance: results[j].Distance})
+			sortMatches(best)
+			if len(best) > k {
+				best = best[:k]
+			}
+		}
+		pos = end
 	}
+	stats.PrunedByBound = len(cands) - pos
 	return best, stats, nil
 }

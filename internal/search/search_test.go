@@ -53,8 +53,11 @@ func TestSearchMatchesBruteForce(t *testing.T) {
 				t.Fatalf("trial %d: match %d = %v, want %v", trial, i, got[i], want[i])
 			}
 		}
-		if stats.PrunedByCount+stats.PrunedByLabel+stats.PrunedByCard+stats.Verified != stats.Candidates {
+		if stats.PrunedByCount+stats.PrunedByLabel+stats.PrunedByCard+stats.PrunedByBound+stats.Verified != stats.Candidates {
 			t.Fatalf("trial %d: stats don't add up: %+v", trial, stats)
+		}
+		if stats.PrunedByBound != 0 {
+			t.Fatalf("trial %d: range search must not bound-prune: %+v", trial, stats)
 		}
 	}
 }
@@ -104,9 +107,12 @@ func TestNearestMatchesBruteForce(t *testing.T) {
 	for trial := 0; trial < 6; trial++ {
 		q := gen.Uniform(3+rng.Intn(3), rng.Intn(3), 3, 3, 2, rng.Int63()+1)
 		k := 1 + rng.Intn(5)
-		got, _, err := ix.Nearest(q, k)
+		got, stats, err := ix.Nearest(q, k)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if stats.PrunedByCount+stats.PrunedByLabel+stats.PrunedByCard+stats.PrunedByBound+stats.Verified != stats.Candidates {
+			t.Fatalf("trial %d: kNN stats don't add up: %+v", trial, stats)
 		}
 		// Brute-force k smallest distances (ties arbitrary → compare the
 		// distance multiset only).

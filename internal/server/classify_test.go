@@ -1,0 +1,28 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// classifyRunError decides the terminal state of a job whose RunContext
+// returned an error: deadline → failed with a timeout message, explicit
+// cancellation → cancelled, anything else → failed.
+func TestClassifyRunError(t *testing.T) {
+	if st, msg := classifyRunError(context.DeadlineExceeded, 5*time.Second); st != JobFailed || msg != "timed out after 5s" {
+		t.Fatalf("deadline: got (%s, %q), want (failed, timed out after 5s)", st, msg)
+	}
+	wrapped := fmt.Errorf("predict: %w", context.DeadlineExceeded)
+	if st, _ := classifyRunError(wrapped, time.Second); st != JobFailed {
+		t.Fatalf("wrapped deadline: got %s, want failed", st)
+	}
+	if st, msg := classifyRunError(context.Canceled, 0); st != JobCancelled || msg != context.Canceled.Error() {
+		t.Fatalf("cancel: got (%s, %q), want cancelled", st, msg)
+	}
+	if st, msg := classifyRunError(errors.New("boom"), 0); st != JobFailed || msg != "boom" {
+		t.Fatalf("other: got (%s, %q), want (failed, boom)", st, msg)
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -347,11 +348,18 @@ type searchQuery struct {
 	Data   string `json:"data,omitempty"` // ...or an inline one
 }
 
+// maxSearchParallelism caps the per-request verification worker count.
+const maxSearchParallelism = 32
+
 type searchRequest struct {
 	Query         searchQuery `json:"query"`
 	Tau           int         `json:"tau,omitempty"` // range search when > 0 or K == 0
 	K             int         `json:"k,omitempty"`   // kNN when > 0
 	MaxExpansions int64       `json:"maxExpansions"`
+	// Parallelism fans verification out over this many pooled solvers
+	// (clamped to maxSearchParallelism); results are identical at every
+	// setting. 0 or 1 verifies sequentially.
+	Parallelism int `json:"parallelism"`
 }
 
 type searchMatch struct {
@@ -421,25 +429,43 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "query needs a graph name or inline data")
 		return
 	}
+	if req.Parallelism < 0 {
+		writeError(w, http.StatusBadRequest, "parallelism = %d, must be ≥ 0", req.Parallelism)
+		return
+	}
 	shared, names := s.corpusIndex()
-	// Shallow-copy the index so the per-request expansion cap never races
-	// with concurrent searches; the corpus slices are shared read-only.
+	// Shallow-copy the index so the per-request expansion cap and worker
+	// count never race with concurrent searches; the corpus slices are
+	// shared read-only.
 	ix := *shared
 	ix.MaxExpansions = s.capExpansions(req.MaxExpansions)
+	ix.Parallelism = req.Parallelism
+	if ix.Parallelism > maxSearchParallelism {
+		ix.Parallelism = maxSearchParallelism
+	}
+	// The request context is cancelled by http.TimeoutHandler at the
+	// response deadline and by client disconnects, so an abandoned scan
+	// stops instead of running the corpus to completion.
+	start := time.Now()
 	var (
 		matches []hged.SearchMatch
 		stats   hged.FilterStats
 		err     error
 	)
 	if req.K > 0 {
-		matches, stats, err = ix.Nearest(q, req.K)
+		matches, stats, err = ix.NearestContext(r.Context(), q, req.K)
 	} else {
-		matches, stats, err = ix.Search(q, req.Tau)
+		matches, stats, err = ix.SearchContext(r.Context(), q, req.Tau)
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		status := http.StatusBadRequest
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
 		return
 	}
+	s.metrics.searchDone(req.K > 0, stats, time.Since(start))
 	out := make([]searchMatch, len(matches))
 	for i, m := range matches {
 		out[i] = searchMatch{Name: names[m.ID], Distance: m.Distance}

@@ -66,6 +66,16 @@ func (j *Job) State() JobState {
 	return j.state
 }
 
+// terminal reports whether the job has finished (done, failed or
+// cancelled) and is therefore eligible for retention eviction.
+func (j *Job) terminal() bool {
+	switch j.State() {
+	case JobDone, JobFailed, JobCancelled:
+		return true
+	}
+	return false
+}
+
 // JobView is the JSON shape of a job's status.
 type JobView struct {
 	ID          string             `json:"id"`
@@ -144,16 +154,21 @@ type JobManager struct {
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
+	order  []string // retained job IDs in submission order
+	retain int      // max terminal jobs kept for inspection
 	nextID int
 	closed bool
 }
 
-func newJobManager(reg *Registry, metrics *Metrics, workers, queueDepth int) *JobManager {
+func newJobManager(reg *Registry, metrics *Metrics, workers, queueDepth, retain int) *JobManager {
 	if workers < 1 {
 		workers = 1
 	}
 	if queueDepth < 1 {
 		queueDepth = 16
+	}
+	if retain < 1 {
+		retain = 256
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &JobManager{
@@ -163,6 +178,7 @@ func newJobManager(reg *Registry, metrics *Metrics, workers, queueDepth int) *Jo
 		baseCancel: cancel,
 		queue:      make(chan *Job, queueDepth),
 		jobs:       make(map[string]*Job),
+		retain:     retain,
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
@@ -202,8 +218,37 @@ func (m *JobManager) Submit(graph string, opts hged.PredictOptions, timeout time
 		return nil, ErrQueueFull
 	}
 	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.evictLocked()
 	m.metrics.jobSubmitted()
 	return job, nil
+}
+
+// evictLocked enforces the retention policy: at most retain terminal jobs
+// stay inspectable via Get/List, evicted oldest-first. Queued and running
+// jobs are never evicted (they don't count against the limit). Caller
+// holds m.mu.
+func (m *JobManager) evictLocked() {
+	terminal := 0
+	for _, id := range m.order {
+		if m.jobs[id].terminal() {
+			terminal++
+		}
+	}
+	evict := terminal - m.retain
+	if evict <= 0 {
+		return
+	}
+	keep := m.order[:0]
+	for _, id := range m.order {
+		if evict > 0 && m.jobs[id].terminal() {
+			delete(m.jobs, id)
+			evict--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	m.order = keep
 }
 
 // Get returns a job by ID.
@@ -275,8 +320,9 @@ func (m *JobManager) runJob(job *Job) {
 		m.metrics.jobFinished(state, stats)
 	}
 
-	if ctx.Err() != nil { // cancelled while queued
-		finish(JobCancelled, hged.PredictStats{}, nil, context.Canceled.Error())
+	if err := ctx.Err(); err != nil { // cancelled (or timed out) while queued
+		state, msg := classifyRunError(err, job.Timeout)
+		finish(state, hged.PredictStats{}, nil, msg)
 		return
 	}
 	entry, ok := m.reg.Get(job.Graph)
@@ -301,10 +347,26 @@ func (m *JobManager) runJob(job *Job) {
 	})
 	stats := p.Stats()
 	if err != nil {
-		finish(JobCancelled, stats, nil, err.Error())
+		state, msg := classifyRunError(err, job.Timeout)
+		finish(state, stats, nil, msg)
 		return
 	}
 	finish(JobDone, stats, preds, "")
+}
+
+// classifyRunError maps a RunContext error to the job's terminal state: an
+// exceeded per-job deadline is a failure (the job never got cancelled, it
+// ran out of its Timeout), an explicit cancellation is JobCancelled, and
+// anything else is a plain failure.
+func classifyRunError(err error, timeout time.Duration) (JobState, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return JobFailed, fmt.Sprintf("timed out after %s", timeout)
+	case errors.Is(err, context.Canceled):
+		return JobCancelled, err.Error()
+	default:
+		return JobFailed, err.Error()
+	}
 }
 
 // Close stops accepting new jobs, waits for queued and running jobs to

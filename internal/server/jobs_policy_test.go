@@ -1,0 +1,101 @@
+package server_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hged"
+	"hged/internal/server"
+)
+
+// A job that exceeds its per-job deadline ends failed (with a timeout
+// message) and is metered as a failure — not as a cancellation.
+func TestJobTimeoutReportsFailed(t *testing.T) {
+	env := newTestEnv(t, server.Config{Workers: 1})
+	if _, err := env.srv.Registry().Add("big", bigGraph(t), "builtin"); err != nil {
+		t.Fatal(err)
+	}
+	job, err := env.srv.Jobs().Submit("big", hged.PredictOptions{Lambda: 3, Tau: 7}, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	if st := job.State(); st != server.JobFailed {
+		t.Fatalf("timed-out job ended %q, want failed", st)
+	}
+	if v := job.View(); !strings.Contains(v.Error, "timed out after") {
+		t.Fatalf("error = %q, want a timeout message", v.Error)
+	}
+
+	var metrics struct {
+		Jobs struct {
+			Failed    int64 `json:"failed"`
+			Cancelled int64 `json:"cancelled"`
+		} `json:"jobs"`
+	}
+	if code := env.do("GET", "/metrics", nil, &metrics); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if metrics.Jobs.Failed != 1 || metrics.Jobs.Cancelled != 0 {
+		t.Fatalf("job counters = %+v, want 1 failed / 0 cancelled", metrics.Jobs)
+	}
+}
+
+// The retention policy keeps the most recent JobRetention terminal jobs:
+// older ones vanish from GET /v1/jobs and /v1/jobs/{id} (404) while the
+// gauges and lifecycle counters stay truthful.
+func TestJobRetentionEvictsOldestTerminal(t *testing.T) {
+	env := newTestEnv(t, server.Config{Workers: 1, JobRetention: 2})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		job, err := env.srv.Jobs().Submit("fig1", hged.PredictOptions{Lambda: 2, Tau: 4}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-job.Done()
+		if st := job.State(); st != server.JobDone {
+			t.Fatalf("job %d ended %q, want done", i, st)
+		}
+		ids = append(ids, job.ID)
+	}
+	// Eviction runs on submit: submitting job 4 evicted job 1, submitting
+	// job 5 evicted job 2; jobs 3..5 remain.
+	for i, id := range ids {
+		want := 200
+		if i < 2 {
+			want = 404
+		}
+		if code := env.do("GET", "/v1/jobs/"+id, nil, nil); code != want {
+			t.Fatalf("GET %s status %d, want %d", id, code, want)
+		}
+	}
+	var list struct {
+		Jobs []struct {
+			ID string `json:"id"`
+		} `json:"jobs"`
+	}
+	if code := env.do("GET", "/v1/jobs", nil, &list); code != 200 {
+		t.Fatalf("list status %d", code)
+	}
+	if len(list.Jobs) != 3 {
+		t.Fatalf("listed %d jobs, want 3 retained", len(list.Jobs))
+	}
+	var metrics struct {
+		Jobs struct {
+			Submitted int64 `json:"submitted"`
+			Done      int64 `json:"done"`
+			Queued    int   `json:"queued"`
+			Running   int   `json:"running"`
+		} `json:"jobs"`
+	}
+	if code := env.do("GET", "/metrics", nil, &metrics); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if metrics.Jobs.Submitted != 5 || metrics.Jobs.Done != 5 {
+		t.Fatalf("lifecycle counters = %+v, want 5 submitted / 5 done despite eviction", metrics.Jobs)
+	}
+	if metrics.Jobs.Queued != 0 || metrics.Jobs.Running != 0 {
+		t.Fatalf("gauges = %+v, want 0 queued / 0 running", metrics.Jobs)
+	}
+}

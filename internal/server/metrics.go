@@ -59,10 +59,20 @@ type Metrics struct {
 	jobHits       int64
 	jobDeduped    int64
 	jobExpanded   int64
+
+	// search-side totals, accumulated per completed /v1/search query
+	// (cancelled scans only show in the request counters)
+	searchRange   int64
+	searchKNN     int64
+	searchFilter  hged.FilterStats
+	searchLatency *histogram
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{endpoints: make(map[string]*endpointMetrics)}
+	return &Metrics{
+		endpoints:     make(map[string]*endpointMetrics),
+		searchLatency: newHistogram(),
+	}
 }
 
 func (m *Metrics) observe(endpoint string, status int, d time.Duration) {
@@ -106,6 +116,26 @@ func (m *Metrics) jobFinished(state JobState, st hged.PredictStats) {
 	m.jobExpanded += int64(st.Expanded)
 }
 
+// searchDone accumulates one completed similarity search: its mode, filter
+// statistics (per-filter prune counters) and end-to-end latency.
+func (m *Metrics) searchDone(knn bool, st hged.FilterStats, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if knn {
+		m.searchKNN++
+	} else {
+		m.searchRange++
+	}
+	m.searchFilter.Candidates += st.Candidates
+	m.searchFilter.PrunedByCount += st.PrunedByCount
+	m.searchFilter.PrunedByLabel += st.PrunedByLabel
+	m.searchFilter.PrunedByCard += st.PrunedByCard
+	m.searchFilter.PrunedByBound += st.PrunedByBound
+	m.searchFilter.Verified += st.Verified
+	m.searchFilter.VerifiedWithin += st.VerifiedWithin
+	m.searchLatency.observe(d)
+}
+
 // MetricsSnapshot is the JSON shape served by GET /metrics.
 type MetricsSnapshot struct {
 	// Requests maps "METHOD /pattern" to per-status counts and latency.
@@ -130,6 +160,21 @@ type MetricsSnapshot struct {
 		Queued    int   `json:"queued"`
 		Running   int   `json:"running"`
 	} `json:"jobs"`
+	// Search aggregates completed /v1/search queries: how many of each
+	// mode ran, how candidates were eliminated (summed FilterStats — the
+	// prune counters partition candidates), and the end-to-end latency.
+	Search struct {
+		Range          int64      `json:"range"`
+		KNN            int64      `json:"knn"`
+		Candidates     int64      `json:"candidates"`
+		PrunedByCount  int64      `json:"prunedByCount"`
+		PrunedByLabel  int64      `json:"prunedByLabel"`
+		PrunedByCard   int64      `json:"prunedByCard"`
+		PrunedByBound  int64      `json:"prunedByBound"`
+		Verified       int64      `json:"verified"`
+		VerifiedWithin int64      `json:"verifiedWithin"`
+		Latency        *histogram `json:"latency"`
+	} `json:"search"`
 	// SolverPool reports the process-wide pooled-solver reuse rate: hits
 	// are acquisitions served by a warm Solver, misses allocated fresh.
 	SolverPool struct {
@@ -163,6 +208,18 @@ func (m *Metrics) snapshot(reg *Registry, jobs *JobManager) MetricsSnapshot {
 	snap.Jobs.Done = m.jobsDone
 	snap.Jobs.Failed = m.jobsFailed
 	snap.Jobs.Cancelled = m.jobsCancelled
+	snap.Search.Range = m.searchRange
+	snap.Search.KNN = m.searchKNN
+	snap.Search.Candidates = int64(m.searchFilter.Candidates)
+	snap.Search.PrunedByCount = int64(m.searchFilter.PrunedByCount)
+	snap.Search.PrunedByLabel = int64(m.searchFilter.PrunedByLabel)
+	snap.Search.PrunedByCard = int64(m.searchFilter.PrunedByCard)
+	snap.Search.PrunedByBound = int64(m.searchFilter.PrunedByBound)
+	snap.Search.Verified = int64(m.searchFilter.Verified)
+	snap.Search.VerifiedWithin = int64(m.searchFilter.VerifiedWithin)
+	snap.Search.Latency = newHistogram()
+	copy(snap.Search.Latency.Counts, m.searchLatency.Counts)
+	snap.Search.Latency.SumMS, snap.Search.Latency.Count = m.searchLatency.SumMS, m.searchLatency.Count
 	m.mu.Unlock()
 
 	if reg != nil {

@@ -33,6 +33,11 @@ type Config struct {
 	// QueueDepth bounds the number of queued (not yet running) jobs. 0
 	// defaults to 16.
 	QueueDepth int
+	// JobRetention caps how many finished (done, failed or cancelled) jobs
+	// stay inspectable via GET /v1/jobs; the oldest terminal jobs are
+	// evicted as new ones are submitted. Queued and running jobs are never
+	// evicted. 0 defaults to 256.
+	JobRetention int
 	// MaxUploadBytes bounds graph upload request bodies. 0 defaults to
 	// 32 MiB.
 	MaxUploadBytes int64
@@ -56,6 +61,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 16
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 256
 	}
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 32 << 20
@@ -91,7 +99,7 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		sem:     make(chan struct{}, cfg.SyncLimit),
 	}
-	s.jobs = newJobManager(s.reg, s.metrics, cfg.Workers, cfg.QueueDepth)
+	s.jobs = newJobManager(s.reg, s.metrics, cfg.Workers, cfg.QueueDepth, cfg.JobRetention)
 	s.handler = s.routes()
 	return s
 }

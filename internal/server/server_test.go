@@ -263,6 +263,53 @@ func TestUploadAndSearch(t *testing.T) {
 	if len(knn.Matches) != 2 || knn.Matches[0].Distance != 0 {
 		t.Fatalf("kNN matches = %+v", knn.Matches)
 	}
+
+	// A parallel search returns the same matches and stats as sequential.
+	var parResp struct {
+		Matches []struct {
+			Name     string `json:"name"`
+			Distance int    `json:"distance"`
+		} `json:"matches"`
+		Stats hged.FilterStats `json:"stats"`
+	}
+	body = map[string]any{"query": map[string]any{"name": "fig1"}, "tau": 0, "parallelism": 4}
+	if code := env.do("POST", "/v1/search", body, &parResp); code != 200 {
+		t.Fatalf("parallel search status %d", code)
+	}
+	if fmt.Sprint(parResp.Matches) != fmt.Sprint(rangeResp.Matches) || parResp.Stats != rangeResp.Stats {
+		t.Fatalf("parallel search diverged: %+v vs %+v", parResp, rangeResp)
+	}
+	if code := env.do("POST", "/v1/search", map[string]any{"query": map[string]any{"name": "fig1"}, "parallelism": -1}, nil); code != 400 {
+		t.Fatalf("negative parallelism status %d, want 400", code)
+	}
+
+	// The search metrics section accumulates the three completed searches
+	// and its prune counters partition the candidates.
+	var metrics struct {
+		Search struct {
+			Range         int64 `json:"range"`
+			KNN           int64 `json:"knn"`
+			Candidates    int64 `json:"candidates"`
+			PrunedByCount int64 `json:"prunedByCount"`
+			PrunedByLabel int64 `json:"prunedByLabel"`
+			PrunedByCard  int64 `json:"prunedByCard"`
+			PrunedByBound int64 `json:"prunedByBound"`
+			Verified      int64 `json:"verified"`
+			Latency       struct {
+				Count int64 `json:"count"`
+			} `json:"latency"`
+		} `json:"search"`
+	}
+	if code := env.do("GET", "/metrics", nil, &metrics); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	s := metrics.Search
+	if s.Range != 2 || s.KNN != 1 || s.Latency.Count != 3 {
+		t.Fatalf("search metrics = %+v, want 2 range / 1 knn / 3 observed", s)
+	}
+	if s.PrunedByCount+s.PrunedByLabel+s.PrunedByCard+s.PrunedByBound+s.Verified != s.Candidates {
+		t.Fatalf("search prune counters don't partition candidates: %+v", s)
+	}
 }
 
 // TestPredictJobLifecycle drives the acceptance scenario end to end: an
