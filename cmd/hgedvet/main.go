@@ -1,0 +1,83 @@
+// Command hgedvet runs the project's static-analysis pass: four analyzers
+// that make the determinism, pool-hygiene, and cancellation contracts of
+// the HGED service compile-time-checkable (see internal/lint and the
+// "Static analysis" section of DESIGN.md).
+//
+// Usage:
+//
+//	hgedvet [-json] [packages]
+//
+// Packages default to ./... and accept the go command's pattern syntax.
+// Exit status is 0 when the tree is clean, 1 when any analyzer reports a
+// finding, and 2 when packages fail to load or type-check.
+//
+// Findings are suppressed per site with a justified comment:
+//
+//	//hgedvet:ignore <rule> <why the contract holds here>
+//
+// on the flagged line or the line above it. Suppressions that are
+// malformed, name an unknown rule, or no longer suppress anything are
+// themselves findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hged/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hgedvet [-json] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.DefaultAnalyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hgedvet:", err)
+		os.Exit(2)
+	}
+	diags := lint.Check(pkgs, lint.DefaultAnalyzers())
+
+	// Report paths relative to the working directory, like go vet.
+	if wd, err := os.Getwd(); err == nil {
+		for i := range diags {
+			if rel, err := filepath.Rel(wd, diags[i].Path); err == nil {
+				diags[i].Path = rel
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "hgedvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"hged/internal/hypergraph"
 )
@@ -259,8 +260,15 @@ func (p *Path) Apply(g *hypergraph.Hypergraph) (*hypergraph.Hypergraph, error) {
 		if !edgeAlive[e] {
 			continue
 		}
-		nodes := make([]hypergraph.NodeID, 0, len(members[e]))
+		// Materialize members in sorted original-id order so the rebuilt
+		// hypergraph is identical run to run (map iteration order is not).
+		ids := make([]int, 0, len(members[e]))
 		for v := range members[e] {
+			ids = append(ids, v)
+		}
+		sort.Ints(ids)
+		nodes := make([]hypergraph.NodeID, 0, len(ids))
+		for _, v := range ids {
 			if remap[v] < 0 {
 				return nil, fmt.Errorf("core: hyperedge %d references deleted node %d", e, v)
 			}

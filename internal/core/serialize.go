@@ -29,6 +29,7 @@ var kindNames = map[OpKind]string{
 
 var kindByName = func() map[string]OpKind {
 	m := make(map[string]OpKind, len(kindNames))
+	//hgedvet:ignore detrange builds the inverse lookup map; insertion order cannot affect the result
 	for k, n := range kindNames {
 		m[n] = k
 	}

@@ -54,6 +54,7 @@ var (
 // miss). Pair it with ReleaseSolver.
 func AcquireSolver() *Solver {
 	solverAcquires.Add(1)
+	//hgedvet:ignore poolpair ownership transfers to the caller, who must pair this with ReleaseSolver
 	return solverPool.Get().(*Solver)
 }
 

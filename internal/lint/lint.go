@@ -1,0 +1,170 @@
+// Package lint implements hgedvet, the project's static-analysis pass.
+//
+// The HGED codebase promises three contracts that ordinary tests only catch
+// when a test happens to exercise the offending path:
+//
+//   - determinism: parallel search output is byte-identical to sequential,
+//     edit paths and DOT renderings are reproducible run to run;
+//   - pool hygiene: every pooled solver acquired is released on every path;
+//   - cancellation: every state-expansion loop polls Options.Context.
+//
+// hgedvet makes those contracts compile-time-checkable. The framework is
+// stdlib-only (go/parser + go/types, with package resolution and export
+// data delegated to the go command), matching the module's zero-dependency
+// ethos. Each Analyzer inspects one type-checked package and reports
+// Diagnostics; the driver applies per-analyzer package scoping and
+// //hgedvet:ignore suppression comments, and flags suppressions that are
+// malformed, name an unknown rule, or no longer suppress anything.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Path    string `json:"path"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Path, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	rule   string
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos under the running analyzer's rule name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Path:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named rule. Packages lists the import paths the rule is
+// scoped to; empty means every analyzed package.
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Packages []string
+	Run      func(*Pass)
+}
+
+func (a *Analyzer) appliesTo(importPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if p == importPath {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultAnalyzers returns the project rule set with its production package
+// scoping (see DESIGN.md "Static analysis" for the contract each enforces).
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{Detrange, Nondet, Poolpair, Ctxpoll}
+}
+
+// ByName returns the default analyzer with the given rule name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range DefaultAnalyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// knownRules is the rule-name universe for suppression validation.
+func knownRules() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range DefaultAnalyzers() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// Check runs every analyzer (subject to its package scope) over every
+// package, applies suppressions, and returns the surviving diagnostics
+// sorted by position. Suppression problems — malformed comments, unknown
+// rule names, suppressions that suppress nothing — are reported under the
+// pseudo-rule "hgedvet" so stale ignores cannot linger silently.
+func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := knownRules()
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, checkPackage(pkg, analyzers, known)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+func checkPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if !a.appliesTo(pkg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+			rule:  a.Name,
+			report: func(d Diagnostic) {
+				raw = append(raw, d)
+			},
+		}
+		a.Run(pass)
+	}
+
+	sup := collectIgnores(pkg)
+	var out []Diagnostic
+	for _, d := range raw {
+		if ig := sup.match(d); ig != nil {
+			ig.used = true
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, sup.problems(known)...)
+	return out
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nondet forbids ambient sources of nondeterminism inside solver, search,
+// and prediction code: wall-clock reads (time.Now / time.Since) and the
+// process-global math/rand source (any package-level function — rand.Intn,
+// rand.Shuffle, rand.Perm, ... — in math/rand or math/rand/v2).
+//
+// Randomness is still available, but it must flow through an explicitly
+// seeded source (rand.New(rand.NewSource(opts.Seed))), the way Strategy 2's
+// sampled upper bound does: that keeps every solve a pure function of its
+// inputs, which the service's σ-cache, the bench snapshots, and the
+// byte-identical parallel-search contract all rely on.
+var Nondet = &Analyzer{
+	Name: "nondet",
+	Doc:  "forbids time.Now and the global math/rand source in solver/search/predict code",
+	Packages: []string{
+		"hged/internal/core",
+		"hged/internal/search",
+		"hged/internal/predict",
+	},
+	Run: runNondet,
+}
+
+// allowedRand are the math/rand names that construct explicit sources
+// rather than consuming the global one.
+var allowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"NewPCG":    true,
+}
+
+func runNondet(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch path := pkgName.Imported().Path(); path {
+			case "time":
+				if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock: solver results must be pure functions of their inputs; thread timestamps in from the caller", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "rand.%s uses the process-global random source: derive randomness from an explicitly seeded rand.New(rand.NewSource(seed)) so solves stay reproducible", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Poolpair flags pooled-object leaks: a call to an Acquire* function (the
+// solver pool's AcquireSolver) or to sync.Pool.Get whose enclosing function
+// does not release the object on every path. The check is lexical, per
+// function literal (a worker goroutine's closure is its own scope):
+//
+//   - a `defer ReleaseX(...)` / `defer pool.Put(...)` after the acquire
+//     (possibly inside a deferred closure) covers all paths;
+//   - otherwise every `return` after the acquire must have a matching
+//     release call between the acquire and the return, and at least one
+//     release must follow the acquire.
+//
+// Functions that intentionally transfer ownership to their caller (the
+// pool's own Acquire wrapper) suppress with //hgedvet:ignore poolpair.
+var Poolpair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "flags sync.Pool.Get / Acquire* calls without a matching Put / Release* on every path",
+	Run:  runPoolpair,
+}
+
+// poolAcquire is one acquire site and the name of its matching release:
+// "ReleaseSolver" for AcquireSolver, "" for sync.Pool.Get (matched by any
+// sync.Pool.Put).
+type poolAcquire struct {
+	pos     token.Pos
+	display string
+	release string
+}
+
+func runPoolpair(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkPoolUnit(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// walkUnit visits the nodes of one function body without descending into
+// nested function literals (each literal is checked as its own unit).
+func walkUnit(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+func checkPoolUnit(pass *Pass, body *ast.BlockStmt) {
+	var (
+		acquires []poolAcquire
+		returns  []token.Pos
+		defers   []*ast.DeferStmt
+		releases []poolAcquire // release calls, same matching shape
+	)
+	walkUnit(body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			returns = append(returns, st.Pos())
+		case *ast.DeferStmt:
+			defers = append(defers, st)
+		case *ast.CallExpr:
+			if acq, ok := acquireCall(pass, st); ok {
+				acquires = append(acquires, acq)
+			}
+			if rel, ok := releaseCall(pass, st); ok {
+				releases = append(releases, rel)
+			}
+		}
+	})
+	if len(acquires) == 0 {
+		return
+	}
+
+	for _, acq := range acquires {
+		if deferCovers(pass, defers, acq) {
+			continue
+		}
+		covered := true
+		released := false
+		for _, rel := range releases {
+			if rel.pos > acq.pos && releaseMatches(acq, rel) {
+				released = true
+				break
+			}
+		}
+		if !released {
+			covered = false
+		}
+		for _, ret := range returns {
+			if ret <= acq.pos {
+				continue
+			}
+			ok := false
+			for _, rel := range releases {
+				if rel.pos > acq.pos && rel.pos < ret && releaseMatches(acq, rel) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				covered = false
+			}
+		}
+		if !covered {
+			want := acq.release
+			if want == "" {
+				want = "Put"
+			}
+			pass.Reportf(acq.pos, "%s has no matching %s on every path: defer the release right after acquiring, or release before each return (//hgedvet:ignore poolpair if ownership transfers to the caller)", acq.display, want)
+		}
+	}
+}
+
+// deferCovers reports whether some defer after the acquire performs the
+// matching release, directly or inside a deferred closure.
+func deferCovers(pass *Pass, defers []*ast.DeferStmt, acq poolAcquire) bool {
+	for _, d := range defers {
+		if d.Pos() < acq.pos {
+			continue
+		}
+		found := false
+		ast.Inspect(d, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if rel, ok := releaseCall(pass, call); ok && releaseMatches(acq, rel) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func releaseMatches(acq, rel poolAcquire) bool {
+	return acq.release == rel.release
+}
+
+// acquireCall recognizes AcquireX(...) and syncPool.Get().
+func acquireCall(pass *Pass, call *ast.CallExpr) (poolAcquire, bool) {
+	if name, ok := calleeFuncName(pass, call); ok && strings.HasPrefix(name, "Acquire") {
+		return poolAcquire{pos: call.Pos(), display: name, release: "Release" + strings.TrimPrefix(name, "Acquire")}, true
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Get" && isSyncPool(pass.Info.TypeOf(sel.X)) {
+		return poolAcquire{pos: call.Pos(), display: "sync.Pool.Get", release: ""}, true
+	}
+	return poolAcquire{}, false
+}
+
+// releaseCall recognizes ReleaseX(...) and syncPool.Put(...).
+func releaseCall(pass *Pass, call *ast.CallExpr) (poolAcquire, bool) {
+	if name, ok := calleeFuncName(pass, call); ok && strings.HasPrefix(name, "Release") {
+		return poolAcquire{pos: call.Pos(), release: name}, true
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Put" && isSyncPool(pass.Info.TypeOf(sel.X)) {
+		return poolAcquire{pos: call.Pos(), release: ""}, true
+	}
+	return poolAcquire{}, false
+}
+
+// calleeFuncName resolves the called function's name for plain and
+// package-qualified calls (AcquireSolver, core.AcquireSolver).
+func calleeFuncName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if _, ok := pass.Info.Uses[fn].(*types.Func); ok {
+			return fn.Name, true
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			if _, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+				return fn.Sel.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}

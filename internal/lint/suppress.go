@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"strings"
+)
+
+// Suppression comments have the form
+//
+//	//hgedvet:ignore <rule> <reason...>
+//
+// and silence one rule's diagnostics on the same line (trailing comment) or
+// on the line immediately below the comment (standalone comment). The
+// reason is mandatory: a suppression is a recorded decision, and "why the
+// contract cannot be violated here" is the part reviewers need.
+const ignorePrefix = "hgedvet:ignore"
+
+type ignoreComment struct {
+	path   string
+	line   int
+	col    int
+	rule   string
+	reason string
+	bad    string // non-empty when the comment is malformed
+	used   bool
+}
+
+type suppressions struct {
+	// byLoc indexes well-formed ignores by file path and the line they
+	// govern is ignores[i].line (trailing) or ignores[i].line+1 (above).
+	ignores []*ignoreComment
+}
+
+// collectIgnores scans every comment in the package for hgedvet:ignore
+// markers.
+func collectIgnores(pkg *Package) *suppressions {
+	s := &suppressions{}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments don't carry ignores
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ig := &ignoreComment{path: pos.Filename, line: pos.Line, col: pos.Column}
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				switch {
+				case len(fields) == 0:
+					ig.bad = "missing rule name and reason"
+				case len(fields) == 1:
+					ig.bad = "missing reason: write //hgedvet:ignore " + fields[0] + " <why the contract holds here>"
+				default:
+					ig.rule = fields[0]
+					ig.reason = strings.Join(fields[1:], " ")
+				}
+				s.ignores = append(s.ignores, ig)
+			}
+		}
+	}
+	return s
+}
+
+// match returns the suppression governing d, if any: same rule, same file,
+// on d's line or the line above it.
+func (s *suppressions) match(d Diagnostic) *ignoreComment {
+	for _, ig := range s.ignores {
+		if ig.bad != "" || ig.rule != d.Rule || ig.path != d.Path {
+			continue
+		}
+		if ig.line == d.Line || ig.line == d.Line-1 {
+			return ig
+		}
+	}
+	return nil
+}
+
+// problems reports malformed ignores, ignores naming unknown rules, and
+// ignores that suppressed nothing this run.
+func (s *suppressions) problems(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, ig := range s.ignores {
+		d := Diagnostic{Path: ig.path, Line: ig.line, Col: ig.col, Rule: "hgedvet"}
+		switch {
+		case ig.bad != "":
+			d.Message = "malformed suppression: " + ig.bad
+		case !known[ig.rule]:
+			d.Message = "suppression names unknown rule " + ig.rule
+		case !ig.used:
+			d.Message = "suppression for " + ig.rule + " suppresses nothing; remove it"
+		default:
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

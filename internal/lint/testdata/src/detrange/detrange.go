@@ -1,0 +1,71 @@
+// Package detrange is the hgedvet fixture for the detrange analyzer: map
+// iteration in determinism-critical code must collect-and-sort, or carry a
+// justified suppression.
+package detrange
+
+import "sort"
+
+// Flagged: emits in map order.
+func emitKeys(m map[string]int, sink func(string)) {
+	for k := range m { // want detrange "map iteration order is nondeterministic"
+		sink(k)
+	}
+}
+
+// Flagged: picks a "first" element depending on iteration order.
+func anyKey(m map[string]int) string {
+	for k := range m { // want detrange "map iteration order is nondeterministic"
+		return k
+	}
+	return ""
+}
+
+// Not flagged: collect-and-sort idiom, keys sorted before use.
+func sortedEmit(m map[string]int, sink func(string)) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sink(k)
+	}
+}
+
+// Not flagged: collect-and-sort with sort.Slice and a comparator.
+func sortedPairs(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Not flagged: slices range fine, only maps are nondeterministic.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Not flagged: suppressed with a justification.
+func countValues(m map[string]int) int {
+	total := 0
+	//hgedvet:ignore detrange commutative sum; iteration order cannot change the total
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Flagged: collecting without sorting is not enough.
+func collectedUnsorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want detrange "map iteration order is nondeterministic"
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Package nondet is the hgedvet fixture for the nondet analyzer: solver
+// code must not read the wall clock or the process-global random source.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Flagged: wall-clock reads make solves irreproducible.
+func stamp() int64 {
+	return time.Now().UnixNano() // want nondet "time.Now reads the wall clock"
+}
+
+// Flagged: time.Since is a wall-clock read too.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want nondet "time.Since reads the wall clock"
+}
+
+// Flagged: global math/rand source.
+func sample(n int) int {
+	return rand.Intn(n) // want nondet "process-global random source"
+}
+
+// Flagged: shuffling with the global source.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want nondet "process-global random source"
+}
+
+// Not flagged: explicitly seeded source, the Strategy-2 idiom.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Not flagged: time.Duration arithmetic and constants are deterministic.
+func budgetFor(states int64) time.Duration {
+	return time.Duration(states) * time.Microsecond
+}
+
+// Not flagged: suppressed with a justification.
+func debugStamp() int64 {
+	//hgedvet:ignore nondet debug-only timing that never reaches a Result
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,91 @@
+// Package poolpair is the hgedvet fixture for the poolpair analyzer: every
+// pooled acquire needs a matching release on every path.
+package poolpair
+
+import "sync"
+
+type solver struct{ scratch []int }
+
+var pool = sync.Pool{New: func() any { return new(solver) }}
+
+// AcquireSolver transfers ownership out; the suppression records that.
+func AcquireSolver() *solver {
+	//hgedvet:ignore poolpair ownership transfers to the caller, who must pair this with ReleaseSolver
+	return pool.Get().(*solver)
+}
+
+// ReleaseSolver returns a solver to the pool.
+func ReleaseSolver(sv *solver) { pool.Put(sv) }
+
+// Not flagged: the canonical defer pairing.
+func solveDeferred(run func(*solver) int) int {
+	sv := AcquireSolver()
+	defer ReleaseSolver(sv)
+	return run(sv)
+}
+
+// Not flagged: released before the single return.
+func solveLinear(run func(*solver) int) int {
+	sv := AcquireSolver()
+	out := run(sv)
+	ReleaseSolver(sv)
+	return out
+}
+
+// Flagged: the error path returns without releasing.
+func solveLeakyBranch(run func(*solver) (int, error)) (int, error) {
+	sv := AcquireSolver() // want poolpair "AcquireSolver has no matching ReleaseSolver on every path"
+	out, err := run(sv)
+	if err != nil {
+		return 0, err
+	}
+	ReleaseSolver(sv)
+	return out, nil
+}
+
+// Flagged: never released at all.
+func solveLeakyAlways(run func(*solver) int) int {
+	sv := AcquireSolver() // want poolpair "AcquireSolver has no matching ReleaseSolver on every path"
+	return run(sv)
+}
+
+// Flagged: a raw sync.Pool.Get with no Put.
+func rawLeak() *solver {
+	return pool.Get().(*solver) // want poolpair "sync.Pool.Get has no matching Put on every path"
+}
+
+// Not flagged: raw Get with deferred Put inside a closure.
+func rawDeferredClosure(run func(*solver)) {
+	sv := pool.Get().(*solver)
+	defer func() { pool.Put(sv) }()
+	run(sv)
+}
+
+// Not flagged: each worker closure is its own scope with its own pairing.
+func workers(n int, run func(*solver)) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sv := AcquireSolver()
+			defer ReleaseSolver(sv)
+			run(sv)
+		}()
+	}
+	wg.Wait()
+}
+
+// Flagged: the closure leaks even though the enclosing function releases a
+// different solver correctly.
+func workerLeak(run func(*solver)) {
+	outer := AcquireSolver()
+	defer ReleaseSolver(outer)
+	done := make(chan struct{})
+	go func() {
+		sv := AcquireSolver() // want poolpair "AcquireSolver has no matching ReleaseSolver on every path"
+		run(sv)
+		close(done)
+	}()
+	<-done
+}

@@ -282,6 +282,7 @@ func (m *JobManager) List() []*Job {
 func (m *JobManager) gauges() (queued, running int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	//hgedvet:ignore detrange order-insensitive count of job states
 	for _, j := range m.jobs {
 		switch j.State() {
 		case JobQueued:

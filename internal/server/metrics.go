@@ -190,8 +190,10 @@ func (m *Metrics) snapshot(reg *Registry, jobs *JobManager) MetricsSnapshot {
 	snap := MetricsSnapshot{Requests: make(map[string]*endpointMetrics)}
 
 	m.mu.Lock()
+	//hgedvet:ignore detrange deep copy into another keyed map; iteration order cannot affect it
 	for k, em := range m.endpoints {
 		cp := &endpointMetrics{Status: make(map[int]int64, len(em.Status)), Latency: newHistogram()}
+		//hgedvet:ignore detrange deep copy into another keyed map; iteration order cannot affect it
 		for s, c := range em.Status {
 			cp.Status[s] = c
 		}

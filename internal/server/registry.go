@@ -47,6 +47,7 @@ func (e *GraphEntry) cacheStats() hged.PredictStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var total hged.PredictStats
+	//hgedvet:ignore detrange commutative sum over per-predictor counters
 	for _, p := range e.sigma {
 		st := p.Stats()
 		total.PairsComputed += st.PairsComputed

@@ -1,0 +1,100 @@
+package viz
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hged/internal/core"
+	"hged/internal/hypergraph"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// under -update. Byte-exact comparison is the point: DOT rendering is part
+// of the explainability surface and must be reproducible run to run.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/viz -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestWriteDOTGolden(t *testing.T) {
+	g := hypergraph.New(3)
+	g.SetNodeLabel(0, 1)
+	g.SetNodeLabel(1, 2)
+	g.SetNodeLabel(2, 1)
+	g.AddEdge(5, 0, 1)
+	g.AddEdge(6, 1, 2)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, &Options{GraphName: "golden", Highlight: []hypergraph.NodeID{2}}); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "write_dot", buf.Bytes())
+}
+
+func TestWriteEditPathDOTGolden(t *testing.T) {
+	// A source/target pair whose optimal path exercises every annotation
+	// family: node insertion, edge insertion, extension, and relabel.
+	src := hypergraph.NewLabeled([]hypergraph.Label{1, 2})
+	src.AddEdge(5, 0, 1)
+	tgt := hypergraph.NewLabeled([]hypergraph.Label{1, 3, 4})
+	tgt.AddEdge(5, 0, 1)
+	tgt.AddEdge(7, 1, 2)
+	_, path := core.DistanceWithPath(src, tgt)
+	if path == nil {
+		t.Fatal("no edit path")
+	}
+	var buf bytes.Buffer
+	if err := WriteEditPathDOT(&buf, src, path, &Options{GraphName: "golden"}); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "write_edit_path_dot", buf.Bytes())
+}
+
+// TestEditPathDOTDeterministic renders a path with many inserted entities
+// repeatedly and requires byte-identical output. Before the detrange fixes
+// the inserted-slot and extension loops iterated maps, so slot order — and
+// the DOT bytes — changed run to run.
+func TestEditPathDOTDeterministic(t *testing.T) {
+	empty := hypergraph.New(0)
+	tgt := hypergraph.NewLabeled([]hypergraph.Label{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for i := 0; i < 9; i++ {
+		tgt.AddEdge(hypergraph.Label(20+i), hypergraph.NodeID(i), hypergraph.NodeID(i+1))
+	}
+	_, path := core.DistanceWithPath(empty, tgt)
+	if path == nil {
+		t.Fatal("no edit path")
+	}
+	var first bytes.Buffer
+	if err := WriteEditPathDOT(&first, empty, path, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again bytes.Buffer
+		if err := WriteEditPathDOT(&again, empty, path, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("render %d differs from first render", i+2)
+		}
+	}
+}

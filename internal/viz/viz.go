@@ -7,10 +7,22 @@ package viz
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"hged/internal/core"
 	"hged/internal/hypergraph"
 )
+
+// sortedKeys returns the keys of an int-keyed map in ascending order, so
+// rendering loops are deterministic regardless of map iteration order.
+func sortedKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
 
 // Options controls rendering. Nil callbacks fall back to numeric names.
 type Options struct {
@@ -183,8 +195,8 @@ func WriteEditPathDOT(w io.Writer, g *hypergraph.Hypergraph, path *core.Path, op
 			return err
 		}
 	}
-	for slot, l := range nodeInserted {
-		if err := writeNode(slot, l, true); err != nil {
+	for _, slot := range sortedKeys(nodeInserted) {
+		if err := writeNode(slot, nodeInserted[slot], true); err != nil {
 			return err
 		}
 	}
@@ -226,12 +238,24 @@ func WriteEditPathDOT(w io.Writer, g *hypergraph.Hypergraph, path *core.Path, op
 			return err
 		}
 	}
-	for slot, l := range edgeInserted {
-		if err := writeEdge(slot, l, nil, true); err != nil {
+	for _, slot := range sortedKeys(edgeInserted) {
+		if err := writeEdge(slot, edgeInserted[slot], nil, true); err != nil {
 			return err
 		}
 	}
+	// Render extensions in (node, edge) order: DOT output is compared
+	// byte-for-byte by golden tests and must not depend on map order.
+	incs := make([]incidence, 0, len(extended))
 	for inc := range extended {
+		incs = append(incs, inc)
+	}
+	sort.Slice(incs, func(i, j int) bool {
+		if incs[i].node != incs[j].node {
+			return incs[i].node < incs[j].node
+		}
+		return incs[i].edge < incs[j].edge
+	})
+	for _, inc := range incs {
 		if _, err := fmt.Fprintf(w, "  n%d -- e%d [style=dashed, color=green];\n", inc.node, inc.edge); err != nil {
 			return err
 		}
