@@ -18,9 +18,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"regexp"
 	"runtime"
@@ -420,12 +422,16 @@ func suite() []benchmark {
 		}},
 		{"Search/range", func(b *testing.B) {
 			ix, q := searchWorkload()
+			var verified int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := ix.Search(q, 6); err != nil {
+				_, stats, err := ix.Search(q, 6)
+				if err != nil {
 					b.Fatal(err)
 				}
+				verified += int64(stats.Verified)
 			}
+			b.ReportMetric(float64(verified)/float64(b.N), "verified/op")
 		}},
 		// The -par variants run the identical workload with a 4-worker
 		// verification pool; the engine guarantees byte-identical output,
@@ -442,12 +448,16 @@ func suite() []benchmark {
 		}},
 		{"Search/knn-seq", func(b *testing.B) {
 			ix, q := searchWorkload()
+			var verified int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := ix.Nearest(q, 4); err != nil {
+				_, stats, err := ix.Nearest(q, 4)
+				if err != nil {
 					b.Fatal(err)
 				}
+				verified += int64(stats.Verified)
 			}
+			b.ReportMetric(float64(verified)/float64(b.N), "verified/op")
 		}},
 		{"Search/knn-par", func(b *testing.B) {
 			ix, q := searchWorkload()
@@ -459,7 +469,87 @@ func suite() []benchmark {
 				}
 			}
 		}},
+		// The -piv variants attach a 2-pivot table to the planted-ego
+		// workload above (its expansion cap leaves most pivot distances
+		// Unknown, so the gain is collapsed-interval admission on the
+		// known rows): byte-identical matches, fewer exact verifications.
+		{"Search/range-piv", func(b *testing.B) {
+			ix, q := searchWorkload()
+			if _, err := ix.BuildPivots(context.Background(), 2); err != nil {
+				b.Fatal(err)
+			}
+			var verified int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := ix.Search(q, 6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				verified += int64(stats.Verified)
+			}
+			b.ReportMetric(float64(verified)/float64(b.N), "verified/op")
+		}},
+		{"Search/knn-piv", func(b *testing.B) {
+			ix, q := searchWorkload()
+			if _, err := ix.BuildPivots(context.Background(), 2); err != nil {
+				b.Fatal(err)
+			}
+			var verified int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := ix.Nearest(q, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				verified += int64(stats.Verified)
+			}
+			b.ReportMetric(float64(verified)/float64(b.N), "verified/op")
+		}},
+		// The uni-* quartet measures the pivot metric index on a corpus
+		// where exact pivot distances are fully known: -piv runs the same
+		// query through an 8-pivot table, so the verified/op delta against
+		// the linear baseline is the triangle inequality's work.
+		{"Search/uni-range", func(b *testing.B) {
+			benchPivotRange(b, 0)
+		}},
+		{"Search/uni-range-piv", func(b *testing.B) {
+			benchPivotRange(b, 8)
+		}},
+		{"Search/uni-knn", func(b *testing.B) {
+			benchPivotKNN(b, 0)
+		}},
+		{"Search/uni-knn-piv", func(b *testing.B) {
+			benchPivotKNN(b, 8)
+		}},
 	}
+}
+
+func benchPivotRange(b *testing.B, pivots int) {
+	ix, q := pivotSearchWorkload(pivots)
+	var verified int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := ix.Search(q, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		verified += int64(stats.Verified)
+	}
+	b.ReportMetric(float64(verified)/float64(b.N), "verified/op")
+}
+
+func benchPivotKNN(b *testing.B, pivots int) {
+	ix, q := pivotSearchWorkload(pivots)
+	var verified int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := ix.Nearest(q, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		verified += int64(stats.Verified)
+	}
+	b.ReportMetric(float64(verified)/float64(b.N), "verified/op")
 }
 
 // searchWorkload builds the shared similarity-search corpus: 12 ego
@@ -474,4 +564,25 @@ func searchWorkload() (*search.Index, *hged.Hypergraph) {
 	ix := search.Build(corpus)
 	ix.MaxExpansions = 50_000
 	return ix, corpus[0]
+}
+
+// pivotSearchWorkload builds the pivot-regime corpus: 40 small uniform
+// hypergraphs whose exact pairwise HGEDs are cheap to solve, so every entry
+// of the pivot distance table is known and the triangle bounds actually
+// prune. pivots == 0 is the linear baseline over the identical corpus and
+// query; the engines are byte-identical, so the -piv variants differ only
+// in how many candidates reach exact verification (verified/op).
+func pivotSearchWorkload(pivots int) (*search.Index, *hged.Hypergraph) {
+	rng := rand.New(rand.NewSource(11))
+	corpus := make([]*hged.Hypergraph, 40)
+	for i := range corpus {
+		corpus[i] = gen.Uniform(3+rng.Intn(4), rng.Intn(4), 3, 3, 2, rng.Int63()+1)
+	}
+	ix := search.Build(corpus)
+	if pivots > 0 {
+		if _, err := ix.BuildPivots(context.Background(), pivots); err != nil {
+			panic(fmt.Sprintf("bench: pivot build: %v", err))
+		}
+	}
+	return ix, corpus[5]
 }

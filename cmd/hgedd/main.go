@@ -6,7 +6,13 @@
 //
 //	hgedd [-addr :8080] [-load name=path.hg]... [-benson name=nverts,simplices[,labels]]...
 //	      [-sync-limit N] [-workers N] [-queue N] [-request-timeout 30s] [-drain 30s]
-//	      [-job-retention N] [-pprof addr]
+//	      [-job-retention N] [-pivots N] [-index-snapshot path] [-pprof addr]
+//
+// -pivots builds a pivot-based metric index over the loaded graphs before
+// serving: similarity searches prune candidates by the triangle inequality
+// (see GET /metrics, "pivot" section). -index-snapshot persists that index
+// to a file — when the file already matches the loaded corpus the build is
+// skipped and the table loaded instead.
 //
 // -job-retention caps how many finished (done/failed/cancelled) HEP jobs
 // stay inspectable via GET /v1/jobs; the oldest terminal jobs are evicted
@@ -70,6 +76,8 @@ func run() error {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for in-flight jobs")
 	maxUpload := flag.Int64("max-upload", 32<<20, "max graph upload body bytes")
 	jobRetention := flag.Int("job-retention", 256, "finished HEP jobs kept for inspection (oldest evicted first)")
+	pivots := flag.Int("pivots", 0, "pivot count for the similarity-search metric index (0 = linear scan)")
+	indexSnapshot := flag.String("index-snapshot", "", "pivot-index snapshot path: loaded when it matches the corpus, written after a build")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	flag.Func("load", "name=path: load a .hg or .json graph at startup (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -101,6 +109,8 @@ func run() error {
 		QueueDepth:     *queue,
 		JobRetention:   *jobRetention,
 		MaxUploadBytes: *maxUpload,
+		Pivots:         *pivots,
+		IndexSnapshot:  *indexSnapshot,
 		Logger:         logger,
 	})
 	for _, l := range loads {
@@ -122,6 +132,15 @@ func run() error {
 		}
 		logger.Printf("loaded graph %q (benson): %d nodes, %d hyperedges",
 			e.Name, e.Stats.Nodes, e.Stats.Edges)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Build (or load) the similarity-search index before accepting
+	// traffic; a SIGINT during a long pivot precompute aborts cleanly.
+	if err := srv.InitSearchIndex(ctx); err != nil {
+		return fmt.Errorf("search index: %w", err)
 	}
 
 	if *pprofAddr != "" {
@@ -149,8 +168,6 @@ func run() error {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	logger.Printf("listening on %s with %d graphs", *addr, srv.Registry().Len())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	select {
 	case err := <-errCh:
 		return err

@@ -8,9 +8,16 @@
 //	hgsearch -q query.hg -k 3 corpus1.hg corpus2.hg ...
 //	hgsearch -q query.hg -tau 5 -egos G.hg     # corpus = all ego networks of G
 //	hgsearch -q query.hg -k 3 -parallel 8 ...  # verify on 8 workers
+//	hgsearch -q query.hg -tau 5 -pivots 8 ...  # triangle-inequality pruning
 //
 // -parallel fans the verification stage over that many workers; the output
-// is byte-identical to a sequential run. Ctrl-C cancels a scan in progress.
+// is byte-identical to a sequential run. -pivots builds a pivot-based
+// metric index first (farthest-first pivots, exact corpus-to-pivot
+// distances) so candidates can be pruned or admitted by the triangle
+// inequality before verification — same results, fewer exact solves.
+// -index-snapshot persists that index: when the file already matches the
+// corpus the build is skipped and the table loaded from disk. Ctrl-C
+// cancels a build or scan in progress.
 package main
 
 import (
@@ -40,6 +47,8 @@ func run() error {
 	egos := flag.Bool("egos", false, "treat the single corpus file as a host graph and search its ego networks")
 	maxExp := flag.Int64("max-expansions", 0, "per-verification expansion budget (0 = default)")
 	parallel := flag.Int("parallel", 0, "verification workers (≤ 1 = sequential)")
+	pivots := flag.Int("pivots", 0, "pivot count for the metric index (0 = linear scan)")
+	snapshot := flag.String("index-snapshot", "", "pivot-index snapshot path: loaded when it matches the corpus, written after a build")
 	flag.Parse()
 
 	if *query == "" {
@@ -90,6 +99,10 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if err := equipPivots(ctx, ix, *pivots, *snapshot); err != nil {
+		return err
+	}
+
 	var matches []search.Match
 	var stats search.FilterStats
 	if *tau >= 0 {
@@ -103,9 +116,42 @@ func run() error {
 	for _, m := range matches {
 		fmt.Printf("HGED=%-4d %s\n", m.Distance, describe(m.ID))
 	}
-	fmt.Printf("corpus=%d pruned: count=%d label=%d card=%d bound=%d; verified=%d (within=%d)\n",
+	fmt.Printf("corpus=%d pruned: count=%d label=%d card=%d bound=%d triangle=%d; admitted=%d verified=%d (within=%d)\n",
 		stats.Candidates, stats.PrunedByCount, stats.PrunedByLabel, stats.PrunedByCard,
-		stats.PrunedByBound, stats.Verified, stats.VerifiedWithin)
+		stats.PrunedByBound, stats.PrunedByTriangle, stats.AdmittedByUpperBound,
+		stats.Verified, stats.VerifiedWithin)
+	return nil
+}
+
+// equipPivots attaches a k-pivot metric index to ix: loaded from the
+// snapshot when one matches this exact corpus and pivot count, built (and
+// persisted, when a path is given) otherwise.
+func equipPivots(ctx context.Context, ix *search.Index, k int, snapshot string) error {
+	if k <= 0 {
+		return nil
+	}
+	want := k
+	if n := ix.Len(); want > n {
+		want = n
+	}
+	if snapshot != "" {
+		if pv, digests, err := hgio.ReadPivotSnapshotFile(snapshot); err == nil && pv.K() == want {
+			if aerr := ix.AttachPivots(pv, digests); aerr == nil {
+				fmt.Fprintf(os.Stderr, "hgsearch: pivot index loaded from %s (%d pivots)\n", snapshot, pv.K())
+				return nil
+			}
+		}
+	}
+	pv, err := ix.BuildPivots(ctx, k)
+	if err != nil {
+		return err
+	}
+	if snapshot != "" {
+		if err := hgio.WritePivotSnapshotFile(snapshot, pv, ix.SignatureDigests()); err != nil {
+			return fmt.Errorf("persisting pivot snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "hgsearch: pivot snapshot written to %s\n", snapshot)
+	}
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"hged/internal/hgio"
 	"hged/internal/hypergraph"
 	"hged/internal/names"
+	"hged/internal/pivot"
 	"hged/internal/predict"
 	"hged/internal/search"
 	"hged/internal/viz"
@@ -117,16 +118,45 @@ type (
 	// its Parallelism field to fan verification over a worker pool; results
 	// and stats are byte-identical to the sequential scan at any setting.
 	// SearchContext/NearestContext accept a context for cancellation.
+	// BuildPivots/AttachPivots add a pivot-based metric accelerator in
+	// front of the signature filters.
 	SearchIndex = search.Index
 	// SearchMatch is one search result.
 	SearchMatch = search.Match
-	// FilterStats reports how candidates were eliminated: the four prune
-	// counters plus Verified always partition Candidates.
+	// FilterStats reports how candidates were eliminated: the prune and
+	// admission counters plus Verified always partition Candidates.
 	FilterStats = search.FilterStats
+	// PivotIndex is a pivot table for triangle-inequality search pruning:
+	// farthest-first pivots plus a corpus×pivot exact-distance matrix.
+	PivotIndex = pivot.Index
 )
 
 // BuildSearchIndex indexes a corpus of hypergraphs for range and kNN search.
 func BuildSearchIndex(corpus []*Hypergraph) *SearchIndex { return search.Build(corpus) }
+
+// WritePivotSnapshot serializes a pivot table and the signature digests of
+// the corpus it was built over (SearchIndex.SignatureDigests) in the
+// versioned, checksummed binary snapshot format.
+func WritePivotSnapshot(w io.Writer, pv *PivotIndex, digests []uint64) error {
+	return hgio.WritePivotSnapshot(w, pv, digests)
+}
+
+// ReadPivotSnapshot parses a snapshot written by WritePivotSnapshot. The
+// returned digests must be passed to SearchIndex.AttachPivots, which
+// verifies them against the live corpus.
+func ReadPivotSnapshot(r io.Reader) (*PivotIndex, []uint64, error) {
+	return hgio.ReadPivotSnapshot(r)
+}
+
+// WritePivotSnapshotFile atomically writes a pivot snapshot to path.
+func WritePivotSnapshotFile(path string, pv *PivotIndex, digests []uint64) error {
+	return hgio.WritePivotSnapshotFile(path, pv, digests)
+}
+
+// ReadPivotSnapshotFile reads a pivot snapshot from path.
+func ReadPivotSnapshotFile(path string) (*PivotIndex, []uint64, error) {
+	return hgio.ReadPivotSnapshotFile(path)
+}
 
 // Named graphs (internal/names).
 type (

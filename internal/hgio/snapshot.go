@@ -1,0 +1,235 @@
+package hgio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hged/internal/pivot"
+)
+
+// Pivot snapshot binary layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "HGEDPIVS"
+//	8       4     format version (uint32, currently 1)
+//	12      4     n — corpus size (uint32)
+//	16      4     k — pivot count (uint32)
+//	20      4k    pivot corpus indices (k × int32)
+//	...     8n    per-graph signature digests (n × uint64)
+//	...     4kn   distance matrix, pivot-major (k × n × int32, -1 = unknown)
+//	...     4     CRC-32 (IEEE) of everything above (uint32)
+//
+// The digests bind the table to the corpus it was built over: a loader
+// must compare them against the live corpus before attaching the table.
+// The trailing checksum makes torn writes and bit rot loud — a reader
+// either returns a fully validated index or an error, never a partial one.
+const (
+	pivotSnapshotMagic   = "HGEDPIVS"
+	pivotSnapshotVersion = uint32(1)
+
+	// MaxSnapshotGraphs bounds the corpus and pivot counts a reader will
+	// allocate for, protecting against hostile or corrupt headers.
+	MaxSnapshotGraphs = 1 << 24
+)
+
+// WritePivotSnapshot serializes a pivot table and the signature digests of
+// the corpus it was built over.
+func WritePivotSnapshot(w io.Writer, pv *pivot.Index, digests []uint64) error {
+	if pv == nil {
+		return fmt.Errorf("hgio: nil pivot index")
+	}
+	if len(digests) != pv.Len() {
+		return fmt.Errorf("hgio: %d digests for a corpus of %d graphs", len(digests), pv.Len())
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(w)
+	out := io.MultiWriter(bw, crc)
+	if _, err := io.WriteString(out, pivotSnapshotMagic); err != nil {
+		return fmt.Errorf("hgio: %w", err)
+	}
+	if err := writeU32s(out, pivotSnapshotVersion, uint32(pv.Len()), uint32(pv.K())); err != nil {
+		return err
+	}
+	for p := 0; p < pv.K(); p++ {
+		if err := writeU32s(out, uint32(int32(pv.PivotID(p)))); err != nil {
+			return err
+		}
+	}
+	var buf [8]byte
+	for _, d := range digests {
+		binary.LittleEndian.PutUint64(buf[:], d)
+		if _, err := out.Write(buf[:]); err != nil {
+			return fmt.Errorf("hgio: %w", err)
+		}
+	}
+	for p := 0; p < pv.K(); p++ {
+		for _, d := range pv.Distances(p) {
+			if err := writeU32s(out, uint32(d)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeU32s(bw, crc.Sum32()); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("hgio: %w", err)
+	}
+	return nil
+}
+
+// ReadPivotSnapshot parses a snapshot written by WritePivotSnapshot. It
+// returns a fully validated pivot table and the corpus signature digests
+// it was built over, or an error — never a partial index. Callers must
+// still compare the digests against the live corpus (search.AttachPivots
+// does) before trusting the table.
+func ReadPivotSnapshot(r io.Reader) (*pivot.Index, []uint64, error) {
+	crc := crc32.NewIEEE()
+	cr := &checksumReader{r: bufio.NewReader(r), h: crc}
+	magic := make([]byte, len(pivotSnapshotMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, nil, fmt.Errorf("hgio: pivot snapshot header: %w", err)
+	}
+	if string(magic) != pivotSnapshotMagic {
+		return nil, nil, fmt.Errorf("hgio: not a pivot snapshot (bad magic %q)", magic)
+	}
+	var version, un, uk uint32
+	if err := readU32s(cr, &version, &un, &uk); err != nil {
+		return nil, nil, err
+	}
+	if version != pivotSnapshotVersion {
+		return nil, nil, fmt.Errorf("hgio: unsupported pivot snapshot version %d (want %d)", version, pivotSnapshotVersion)
+	}
+	if un > MaxSnapshotGraphs || uk > MaxSnapshotGraphs {
+		return nil, nil, fmt.Errorf("hgio: implausible snapshot counts n=%d k=%d (max %d)", un, uk, MaxSnapshotGraphs)
+	}
+	n, k := int(un), int(uk)
+	ids := make([]int32, k)
+	for p := range ids {
+		var v uint32
+		if err := readU32s(cr, &v); err != nil {
+			return nil, nil, err
+		}
+		ids[p] = int32(v)
+	}
+	digests := make([]uint64, n)
+	var buf [8]byte
+	for i := range digests {
+		if _, err := io.ReadFull(cr, buf[:]); err != nil {
+			return nil, nil, fmt.Errorf("hgio: pivot snapshot truncated: %w", err)
+		}
+		digests[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	dist := make([][]int32, k)
+	for p := range dist {
+		col := make([]int32, n)
+		for i := range col {
+			var v uint32
+			if err := readU32s(cr, &v); err != nil {
+				return nil, nil, err
+			}
+			col[i] = int32(v)
+		}
+		dist[p] = col
+	}
+	sum := crc.Sum32() // the trailer itself is not part of the checksum
+	var stored uint32
+	if err := readU32s(cr, &stored); err != nil {
+		return nil, nil, err
+	}
+	if stored != sum {
+		return nil, nil, fmt.Errorf("hgio: pivot snapshot checksum mismatch (stored %08x, computed %08x): corrupt or torn write", stored, sum)
+	}
+	if extra, _ := io.CopyN(io.Discard, cr, 1); extra != 0 {
+		return nil, nil, fmt.Errorf("hgio: trailing data after pivot snapshot")
+	}
+	pv, err := pivot.FromParts(n, ids, dist)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hgio: invalid pivot snapshot: %w", err)
+	}
+	return pv, digests, nil
+}
+
+// WritePivotSnapshotFile atomically writes a snapshot to path: the bytes
+// land in a temporary file in the same directory which is fsynced and
+// renamed over the target, so a crash mid-write never leaves a torn
+// snapshot at path.
+func WritePivotSnapshotFile(path string, pv *pivot.Index, digests []uint64) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("hgio: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := WritePivotSnapshot(tmp, pv, digests); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("hgio: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("hgio: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("hgio: %w", err)
+	}
+	return nil
+}
+
+// ReadPivotSnapshotFile reads a snapshot from path.
+func ReadPivotSnapshotFile(path string) (*pivot.Index, []uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hgio: %w", err)
+	}
+	defer f.Close()
+	pv, digests, err := ReadPivotSnapshot(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return pv, digests, nil
+}
+
+// checksumReader tees everything read through the checksum hash.
+type checksumReader struct {
+	r io.Reader
+	h hash.Hash32
+}
+
+func (c *checksumReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.h.Write(p[:n])
+	}
+	return n, err
+}
+
+func writeU32s(w io.Writer, vs ...uint32) error {
+	var buf [4]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		if _, err := w.Write(buf[:]); err != nil {
+			return fmt.Errorf("hgio: %w", err)
+		}
+	}
+	return nil
+}
+
+func readU32s(r io.Reader, vs ...*uint32) error {
+	var buf [4]byte
+	for _, v := range vs {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return fmt.Errorf("hgio: pivot snapshot truncated: %w", err)
+		}
+		*v = binary.LittleEndian.Uint32(buf[:])
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package hgio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hged/internal/pivot"
+)
+
+// sampleSnapshot builds a small hand-crafted pivot table with a mix of
+// known and Unknown entries.
+func sampleSnapshot(t *testing.T) (*pivot.Index, []uint64) {
+	t.Helper()
+	pv, err := pivot.FromParts(5,
+		[]int32{0, 3},
+		[][]int32{
+			{0, 2, 4, 3, pivot.Unknown},
+			{3, 1, pivot.Unknown, 0, 6},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pv, []uint64{11, 22, 33, 44, 55}
+}
+
+func snapshotBytes(t *testing.T, pv *pivot.Index, digests []uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePivotSnapshot(&buf, pv, digests); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestPivotSnapshotRoundTrip(t *testing.T) {
+	pv, digests := sampleSnapshot(t)
+	raw := snapshotBytes(t, pv, digests)
+	back, gotDigests, err := ReadPivotSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotDigests, digests) {
+		t.Fatalf("digests changed: got %v want %v", gotDigests, digests)
+	}
+	if back.Len() != pv.Len() || back.K() != pv.K() {
+		t.Fatalf("shape changed: got (%d,%d) want (%d,%d)", back.Len(), back.K(), pv.Len(), pv.K())
+	}
+	if !reflect.DeepEqual(back.PivotIDs(), pv.PivotIDs()) {
+		t.Fatalf("pivot ids changed: got %v want %v", back.PivotIDs(), pv.PivotIDs())
+	}
+	for p := 0; p < pv.K(); p++ {
+		if !reflect.DeepEqual(back.Distances(p), pv.Distances(p)) {
+			t.Fatalf("column %d changed: got %v want %v", p, back.Distances(p), pv.Distances(p))
+		}
+	}
+}
+
+func TestPivotSnapshotWriterIsDeterministic(t *testing.T) {
+	pv, digests := sampleSnapshot(t)
+	if !bytes.Equal(snapshotBytes(t, pv, digests), snapshotBytes(t, pv, digests)) {
+		t.Fatal("two writes of the same table produced different bytes")
+	}
+}
+
+func TestPivotSnapshotRejectsCorruption(t *testing.T) {
+	pv, digests := sampleSnapshot(t)
+	raw := snapshotBytes(t, pv, digests)
+
+	t.Run("bit flip anywhere fails the checksum", func(t *testing.T) {
+		// Flip one bit in every byte position (the trailer included:
+		// flipping the stored checksum must also be caught).
+		for i := range raw {
+			bad := append([]byte(nil), raw...)
+			bad[i] ^= 0x40
+			if _, _, err := ReadPivotSnapshot(bytes.NewReader(bad)); err == nil {
+				t.Fatalf("bit flip at offset %d was accepted", i)
+			}
+		}
+	})
+
+	t.Run("truncation at every length", func(t *testing.T) {
+		for cut := 0; cut < len(raw); cut++ {
+			if _, _, err := ReadPivotSnapshot(bytes.NewReader(raw[:cut])); err == nil {
+				t.Fatalf("truncation to %d bytes was accepted", cut)
+			}
+		}
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte("NOTAPIVT"), raw[8:]...)
+		_, _, err := ReadPivotSnapshot(bytes.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("future version", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[8] = 99
+		_, _, err := ReadPivotSnapshot(bytes.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("implausible counts rejected before allocating", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		for i := 12; i < 16; i++ {
+			bad[i] = 0xff
+		}
+		_, _, err := ReadPivotSnapshot(bytes.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "implausible") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("empty input", func(t *testing.T) {
+		if _, _, err := ReadPivotSnapshot(bytes.NewReader(nil)); err == nil {
+			t.Fatal("empty input was accepted")
+		}
+	})
+}
+
+func TestWritePivotSnapshotRejectsBadInputs(t *testing.T) {
+	pv, digests := sampleSnapshot(t)
+	var buf bytes.Buffer
+	if err := WritePivotSnapshot(&buf, nil, digests); err == nil {
+		t.Fatal("nil index was accepted")
+	}
+	if err := WritePivotSnapshot(&buf, pv, digests[:2]); err == nil {
+		t.Fatal("digest count mismatch was accepted")
+	}
+}
+
+func TestPivotSnapshotFileRoundTrip(t *testing.T) {
+	pv, digests := sampleSnapshot(t)
+	path := filepath.Join(t.TempDir(), "pivots.snap")
+	if err := WritePivotSnapshotFile(path, pv, digests); err != nil {
+		t.Fatal(err)
+	}
+	back, gotDigests, err := ReadPivotSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotDigests, digests) || back.K() != pv.K() {
+		t.Fatalf("file round trip changed the snapshot")
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("stray files after an atomic write: %v", entries)
+	}
+	// A failed write must not clobber an existing snapshot.
+	if err := WritePivotSnapshotFile(path, nil, digests); err == nil {
+		t.Fatal("nil index write must fail")
+	}
+	if _, _, err := ReadPivotSnapshotFile(path); err != nil {
+		t.Fatalf("failed write clobbered the previous snapshot: %v", err)
+	}
+}
+
+func TestReadPivotSnapshotFileMissing(t *testing.T) {
+	if _, _, err := ReadPivotSnapshotFile(filepath.Join(t.TempDir(), "absent.snap")); err == nil {
+		t.Fatal("missing file was accepted")
+	}
+}

@@ -26,6 +26,7 @@ var Detrange = &Analyzer{
 	Packages: []string{
 		"hged/internal/core",
 		"hged/internal/search",
+		"hged/internal/pivot",
 		"hged/internal/predict",
 		"hged/internal/server",
 		"hged/internal/viz",

@@ -21,6 +21,7 @@ var Nondet = &Analyzer{
 	Packages: []string{
 		"hged/internal/core",
 		"hged/internal/search",
+		"hged/internal/pivot",
 		"hged/internal/predict",
 	},
 	Run: runNondet,

@@ -1,0 +1,199 @@
+// Package pivot implements the metric side of a pivot-based HGED index:
+// deterministic farthest-first pivot selection over a corpus, a
+// corpus×pivot exact-distance matrix, and query-time triangle-inequality
+// bounds. HGED is a true metric, so for any query q, corpus graph g and
+// pivot p,
+//
+//	|d(q,p) − d(g,p)| ≤ d(q,g) ≤ d(q,p) + d(g,p)
+//
+// and an index that has precomputed d(g,p) for every g can bracket d(q,g)
+// after only K query-to-pivot solves. Lower bounds above a search
+// threshold prune candidates without verification; an interval that
+// collapses (lower == upper) pins the exact distance and admits a match
+// without verification.
+//
+// The package holds no solver machinery: distances are computed by the
+// caller (internal/search drives its pooled parallel verification workers)
+// and fed in one pivot column at a time. Everything here is a pure
+// function of those inputs, so index builds are byte-reproducible.
+package pivot
+
+import (
+	"fmt"
+	"math"
+)
+
+// Unknown is the sentinel for a distance the caller could not pin exactly
+// (its solver hit an expansion budget before proving optimality). Unknown
+// entries never participate in bounds or in farthest-first selection, so a
+// budget-capped build degrades gracefully toward the unpruned scan instead
+// of becoming unsound.
+const Unknown = int32(-1)
+
+// Index is an immutable pivot table: the selected pivots (corpus indices,
+// in selection order) and the exact HGED from every corpus graph to each
+// pivot. Build one with Builder, or reconstruct a persisted one with
+// FromParts.
+type Index struct {
+	n    int
+	ids  []int32   // pivot corpus indices, selection order
+	dist [][]int32 // dist[p][i] = HGED(corpus[i], corpus[ids[p]]); Unknown allowed
+}
+
+// Len returns the corpus size the index was built over.
+func (x *Index) Len() int { return x.n }
+
+// K returns the number of pivots.
+func (x *Index) K() int { return len(x.ids) }
+
+// PivotID returns the corpus index of pivot p.
+func (x *Index) PivotID(p int) int { return int(x.ids[p]) }
+
+// PivotIDs returns the pivot corpus indices in selection order. The slice
+// is shared with the index and must not be mutated.
+func (x *Index) PivotIDs() []int32 { return x.ids }
+
+// Distances returns pivot p's distance column: Distances(p)[i] is the
+// exact HGED from corpus graph i to pivot p (Unknown when the build could
+// not pin it). The slice is shared with the index and must not be mutated.
+func (x *Index) Distances(p int) []int32 { return x.dist[p] }
+
+// Bounds brackets the distance between a query and corpus graph i from the
+// query-to-pivot distances qd (one entry per pivot, Unknown allowed).
+// It reports ok=false when no pivot has both sides known, in which case
+// the caller must fall back to its other filters.
+func (x *Index) Bounds(qd []int32, i int) (lb, ub int, ok bool) {
+	ub = math.MaxInt
+	for p := range x.ids {
+		dq, dg := qd[p], x.dist[p][i]
+		if dq == Unknown || dg == Unknown {
+			continue
+		}
+		ok = true
+		diff := int(dq) - int(dg)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > lb {
+			lb = diff
+		}
+		if sum := int(dq) + int(dg); sum < ub {
+			ub = sum
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return lb, ub, true
+}
+
+// FromParts reassembles an Index from its raw components (the snapshot
+// reader's path): n is the corpus size, ids the pivot corpus indices, and
+// dist the per-pivot distance columns. The inputs are validated but not
+// copied; the caller must not mutate them afterwards.
+func FromParts(n int, ids []int32, dist [][]int32) (*Index, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("pivot: negative corpus size %d", n)
+	}
+	if len(dist) != len(ids) {
+		return nil, fmt.Errorf("pivot: %d pivot ids but %d distance columns", len(ids), len(dist))
+	}
+	if len(ids) > n {
+		return nil, fmt.Errorf("pivot: %d pivots exceed the corpus size %d", len(ids), n)
+	}
+	seen := make(map[int32]bool, len(ids))
+	for p, id := range ids {
+		if id < 0 || int(id) >= n {
+			return nil, fmt.Errorf("pivot: pivot %d id %d out of range [0, %d)", p, id, n)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("pivot: duplicate pivot id %d", id)
+		}
+		seen[id] = true
+		col := dist[p]
+		if len(col) != n {
+			return nil, fmt.Errorf("pivot: pivot %d column has %d entries, want %d", p, len(col), n)
+		}
+		for i, d := range col {
+			if d < 0 && d != Unknown {
+				return nil, fmt.Errorf("pivot: pivot %d distance to graph %d is %d, want ≥ 0 or Unknown", p, i, d)
+			}
+		}
+		if d := col[id]; d != 0 && d != Unknown {
+			return nil, fmt.Errorf("pivot: pivot %d self-distance is %d, want 0", p, d)
+		}
+	}
+	return &Index{n: n, ids: ids, dist: dist}, nil
+}
+
+// Builder accumulates farthest-first rounds into an Index. The traversal
+// is seeded at corpus index 0 and thereafter selects the graph maximizing
+// the minimum distance to the pivots chosen so far, breaking ties toward
+// the lowest corpus index — so a build over a fixed corpus is
+// byte-reproducible regardless of how the caller parallelizes the distance
+// computations. Unknown distances leave a graph's minimum untouched
+// (standard farthest-first optimism: an unmeasured graph may be far).
+type Builder struct {
+	n       int
+	ids     []int32
+	dist    [][]int32
+	chosen  []bool
+	minDist []int32 // per graph, min known distance to the chosen pivots
+}
+
+// NewBuilder starts a build over a corpus of n graphs.
+func NewBuilder(n int) *Builder {
+	b := &Builder{n: n, chosen: make([]bool, n), minDist: make([]int32, n)}
+	for i := range b.minDist {
+		b.minDist[i] = math.MaxInt32
+	}
+	return b
+}
+
+// Next returns the corpus index to use as the next pivot, or ok=false when
+// the corpus is exhausted. The caller computes that pivot's distance
+// column and feeds it back through Add.
+func (b *Builder) Next() (id int, ok bool) {
+	if len(b.ids) >= b.n {
+		return 0, false
+	}
+	if len(b.ids) == 0 {
+		return 0, true // the traversal seed
+	}
+	best, bestDist := -1, int32(-1)
+	for i := 0; i < b.n; i++ {
+		if b.chosen[i] {
+			continue
+		}
+		if b.minDist[i] > bestDist {
+			best, bestDist = i, b.minDist[i]
+		}
+	}
+	return best, best >= 0
+}
+
+// Add records the next pivot: id is the corpus index Next returned and col
+// its distance column (col[i] = exact HGED from corpus graph i to the
+// pivot, Unknown where the solver could not pin it). The column is
+// retained, not copied.
+func (b *Builder) Add(id int, col []int32) {
+	if len(col) != b.n {
+		panic(fmt.Sprintf("pivot: column has %d entries, want %d", len(col), b.n))
+	}
+	if id < 0 || id >= b.n || b.chosen[id] {
+		panic(fmt.Sprintf("pivot: bad or duplicate pivot id %d", id))
+	}
+	b.chosen[id] = true
+	b.ids = append(b.ids, int32(id))
+	b.dist = append(b.dist, col)
+	for i, d := range col {
+		if d != Unknown && d < b.minDist[i] {
+			b.minDist[i] = d
+		}
+	}
+}
+
+// Index seals the build. The builder must not be used afterwards.
+func (b *Builder) Index() *Index {
+	return &Index{n: b.n, ids: b.ids, dist: b.dist}
+}

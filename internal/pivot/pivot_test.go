@@ -1,0 +1,178 @@
+package pivot
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// handBuild runs the builder against a fixed symmetric distance matrix and
+// returns the selection order.
+func handBuild(t *testing.T, d [][]int32, k int) *Index {
+	t.Helper()
+	n := len(d)
+	b := NewBuilder(n)
+	for len(b.ids) < k {
+		id, ok := b.Next()
+		if !ok {
+			break
+		}
+		col := make([]int32, n)
+		for i := range col {
+			col[i] = d[i][id]
+		}
+		b.Add(id, col)
+	}
+	return b.Index()
+}
+
+func TestFarthestFirstSelection(t *testing.T) {
+	// Distances on a line: 0 —1— 1 —1— 2 ... 3 far out at 10.
+	d := [][]int32{
+		{0, 1, 2, 10},
+		{1, 0, 1, 9},
+		{2, 1, 0, 8},
+		{10, 9, 8, 0},
+	}
+	x := handBuild(t, d, 3)
+	// Seed 0; farthest from 0 is 3 (10); then 2 (min(2,8)=2 beats 1's 1).
+	want := []int32{0, 3, 2}
+	if !reflect.DeepEqual(x.PivotIDs(), want) {
+		t.Fatalf("selection order %v, want %v", x.PivotIDs(), want)
+	}
+}
+
+func TestSelectionTieBreaksToLowestIndex(t *testing.T) {
+	// Graphs 1 and 2 are equally far from the seed; 1 must win.
+	d := [][]int32{
+		{0, 5, 5},
+		{5, 0, 5},
+		{5, 5, 0},
+	}
+	x := handBuild(t, d, 2)
+	if want := []int32{0, 1}; !reflect.DeepEqual(x.PivotIDs(), want) {
+		t.Fatalf("selection order %v, want %v", x.PivotIDs(), want)
+	}
+}
+
+func TestSelectionNeverRepicksAPivot(t *testing.T) {
+	// All-zero distances (duplicate corpus): every remaining graph ties at
+	// minDist 0, and the builder must still emit distinct pivots.
+	d := [][]int32{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}
+	x := handBuild(t, d, 3)
+	if want := []int32{0, 1, 2}; !reflect.DeepEqual(x.PivotIDs(), want) {
+		t.Fatalf("selection order %v, want %v", x.PivotIDs(), want)
+	}
+	if id, ok := NewBuilder(0).Next(); ok {
+		t.Fatalf("empty corpus yielded pivot %d", id)
+	}
+}
+
+func TestUnknownDistancesStayOptimistic(t *testing.T) {
+	// Graph 2's distance to the seed is Unknown: its minimum stays at
+	// +inf, so farthest-first picks it over the measured graph 1.
+	b := NewBuilder(3)
+	id, _ := b.Next()
+	b.Add(id, []int32{0, 3, Unknown})
+	next, ok := b.Next()
+	if !ok || next != 2 {
+		t.Fatalf("next pivot = %d (ok=%v), want 2", next, ok)
+	}
+}
+
+func TestBoundsBracketTheMetric(t *testing.T) {
+	x, err := FromParts(3, []int32{0, 2}, [][]int32{
+		{0, 4, 7},
+		{7, 3, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd := []int32{5, 2} // d(q, pivot0)=5, d(q, pivot1)=2
+	// Graph 1: |5-4|=1, |2-3|=1 → lb 1; min(5+4, 2+3)=5 → ub 5.
+	lb, ub, ok := x.Bounds(qd, 1)
+	if !ok || lb != 1 || ub != 5 {
+		t.Fatalf("bounds(1) = (%d, %d, %v), want (1, 5, true)", lb, ub, ok)
+	}
+	// Graph 2 is pivot 1 itself: the interval collapses onto d(q, p1)=2.
+	lb, ub, ok = x.Bounds(qd, 2)
+	if !ok || lb != 2 || ub != 2 {
+		t.Fatalf("bounds(2) = (%d, %d, %v), want (2, 2, true)", lb, ub, ok)
+	}
+}
+
+func TestBoundsSkipUnknownEntries(t *testing.T) {
+	x, err := FromParts(2, []int32{0, 1}, [][]int32{
+		{0, Unknown},
+		{Unknown, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Graph 1: pivot 0's entry is Unknown, pivot 1 contributes (|3-0|, 3+0).
+	lb, ub, ok := x.Bounds([]int32{4, 3}, 1)
+	if !ok || lb != 3 || ub != 3 {
+		t.Fatalf("bounds = (%d, %d, %v), want (3, 3, true)", lb, ub, ok)
+	}
+	// Both sides Unknown for every pivot → no bracket.
+	if _, _, ok := x.Bounds([]int32{Unknown, Unknown}, 1); ok {
+		t.Fatal("all-Unknown query distances must not produce bounds")
+	}
+}
+
+func TestFromPartsRejectsMalformedInputs(t *testing.T) {
+	col := func(vals ...int32) []int32 { return vals }
+	cases := []struct {
+		name string
+		n    int
+		ids  []int32
+		dist [][]int32
+		want string
+	}{
+		{"negative corpus", -1, nil, nil, "negative corpus"},
+		{"column count", 2, []int32{0}, nil, "distance columns"},
+		{"too many pivots", 1, []int32{0, 0}, [][]int32{col(0), col(0)}, "exceed the corpus"},
+		{"id out of range", 2, []int32{2}, [][]int32{col(0, 0)}, "out of range"},
+		{"duplicate id", 2, []int32{0, 0}, [][]int32{col(0, 1), col(0, 1)}, "duplicate pivot"},
+		{"short column", 2, []int32{0}, [][]int32{col(0)}, "column has"},
+		{"negative distance", 2, []int32{0}, [][]int32{col(0, -7)}, "want ≥ 0"},
+		{"self distance", 2, []int32{1}, [][]int32{col(3, 4)}, "self-distance"},
+	}
+	for _, tc := range cases {
+		if _, err := FromParts(tc.n, tc.ids, tc.dist); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := FromParts(0, nil, nil); err != nil {
+		t.Fatalf("empty index must be valid: %v", err)
+	}
+}
+
+func TestBuilderIsByteReproducible(t *testing.T) {
+	d := [][]int32{
+		{0, 2, 9, 4},
+		{2, 0, 7, 5},
+		{9, 7, 0, 6},
+		{4, 5, 6, 0},
+	}
+	a, b := handBuild(t, d, 4), handBuild(t, d, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two builds over the same matrix diverged: %+v vs %+v", a, b)
+	}
+	if a.K() != 4 || a.Len() != 4 {
+		t.Fatalf("K=%d Len=%d, want 4, 4", a.K(), a.Len())
+	}
+}
+
+func TestBoundsOnUnreachedGraphKeepsMaxInt(t *testing.T) {
+	// Guard against ub overflow: large distances still produce a sane sum.
+	x, err := FromParts(2, []int32{0}, [][]int32{{0, math.MaxInt32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, ub, ok := x.Bounds([]int32{math.MaxInt32}, 1)
+	if !ok || lb != 0 || ub != 2*int(math.MaxInt32) {
+		t.Fatalf("bounds = (%d, %d, %v)", lb, ub, ok)
+	}
+}

@@ -1,0 +1,362 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"hged/internal/gen"
+	"hged/internal/hypergraph"
+	"hged/internal/pivot"
+)
+
+// buildCapped builds an index with the same expansion cap the parallel
+// determinism test uses: caps bind on some planted-ego pairs, so capped
+// behavior (unknown pivot distances, bounded verifications) is covered.
+func buildCapped(graphs []*hypergraph.Hypergraph) *Index {
+	ix := Build(graphs)
+	ix.MaxExpansions = 10_000
+	return ix
+}
+
+// checkPartition asserts the FilterStats partition invariant:
+// count+label+card+bound+triangle+admitted+verified == candidates.
+func checkPartition(t *testing.T, ctx string, s FilterStats) {
+	t.Helper()
+	if s.PrunedByCount+s.PrunedByLabel+s.PrunedByCard+s.PrunedByBound+
+		s.PrunedByTriangle+s.AdmittedByUpperBound+s.Verified != s.Candidates {
+		t.Fatalf("%s: stats don't partition candidates: %+v", ctx, s)
+	}
+}
+
+// The pivoted correctness gate: at every pivot count (including 0, the
+// degenerate linear scan) and every parallelism level, range and kNN
+// matches are byte-identical to the sequential unpivoted scan, and the
+// extended FilterStats partition holds. Run under -race in CI.
+func TestPivotedSearchIsByteIdenticalToSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy determinism matrix; the dedicated CI race gate runs it un-short")
+	}
+	corpusGraphs, queries := plantedCorpus(t)
+	seq := buildCapped(corpusGraphs)
+	levels := []int{1, 4, runtime.NumCPU()}
+	for _, pivots := range []int{0, 1, 8} {
+		piv := buildCapped(corpusGraphs)
+		if _, err := piv.BuildPivots(context.Background(), pivots); err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			for _, tau := range []int{0, 3, 7} {
+				wantM, wantS, err := seq.Search(q, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range levels {
+					ix := *piv
+					ix.Parallelism = p
+					gotM, gotS, err := ix.Search(q, tau)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(gotM, wantM) {
+						t.Fatalf("pivots=%d P=%d q=%d τ=%d: range diverged\ngot  %v\nwant %v",
+							pivots, p, qi, tau, gotM, wantM)
+					}
+					checkPartition(t, "range", gotS)
+					if pivots == 0 && gotS != wantS {
+						t.Fatalf("pivots=0 must degenerate to the linear scan: got %+v want %+v", gotS, wantS)
+					}
+				}
+			}
+			for _, k := range []int{1, 5} {
+				wantM, wantS, err := seq.Nearest(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range levels {
+					ix := *piv
+					ix.Parallelism = p
+					gotM, gotS, err := ix.Nearest(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(gotM, wantM) {
+						t.Fatalf("pivots=%d P=%d q=%d k=%d: kNN diverged\ngot  %v\nwant %v",
+							pivots, p, qi, k, gotM, wantM)
+					}
+					checkPartition(t, "kNN", gotS)
+					if pivots == 0 && gotS != wantS {
+						t.Fatalf("pivots=0 must degenerate to the linear scan: got %+v want %+v", gotS, wantS)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Builds are byte-reproducible: the same corpus yields the same pivots and
+// the same distance matrix at any parallelism, and the stats of a pivoted
+// query are independent of the worker count.
+func TestPivotBuildIsReproducibleAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy determinism matrix; the dedicated CI race gate runs it un-short")
+	}
+	corpusGraphs, queries := plantedCorpus(t)
+	var tables []*pivot.Index
+	for _, p := range []int{1, 4, runtime.NumCPU()} {
+		ix := buildCapped(corpusGraphs)
+		ix.Parallelism = p
+		pv, err := ix.BuildPivots(context.Background(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, pv)
+	}
+	for i := 1; i < len(tables); i++ {
+		if !reflect.DeepEqual(tables[0].PivotIDs(), tables[i].PivotIDs()) {
+			t.Fatalf("pivot selection diverged across parallelism: %v vs %v",
+				tables[0].PivotIDs(), tables[i].PivotIDs())
+		}
+		for p := 0; p < tables[0].K(); p++ {
+			if !reflect.DeepEqual(tables[0].Distances(p), tables[i].Distances(p)) {
+				t.Fatalf("distance column %d diverged across parallelism", p)
+			}
+		}
+	}
+	// Stats must also be parallelism-independent for a fixed pivot table.
+	ix := buildCapped(corpusGraphs)
+	if err := ix.AttachPivots(tables[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	_, wantS, err := ix.Search(queries[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{4, runtime.NumCPU()} {
+		par := *ix
+		par.Parallelism = p
+		_, gotS, err := par.Search(queries[0], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotS != wantS {
+			t.Fatalf("P=%d: pivoted stats diverged: got %+v want %+v", p, gotS, wantS)
+		}
+	}
+}
+
+// In the exact regime (small uniform graphs, no cap binding, fully-known
+// pivot table) the triangle filter genuinely prunes and admits, and the
+// results stay byte-identical to the sequential unpivoted scan — the
+// capped planted-corpus gate above mostly exercises the Unknown-entry
+// degradation path, so this one covers the bounds actually firing.
+func TestPivotedSearchIsByteIdenticalExactRegime(t *testing.T) {
+	graphs := corpus(40, 11)
+	seq := Build(graphs)
+	var tot FilterStats
+	for _, pivots := range []int{1, 8} {
+		piv := Build(graphs)
+		if _, err := piv.BuildPivots(context.Background(), pivots); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(13))
+		for trial := 0; trial < 8; trial++ {
+			q := gen.Uniform(3+rng.Intn(4), rng.Intn(4), 3, 3, 2, rng.Int63()+1)
+			tau := 1 + rng.Intn(7)
+			wantM, _, err := seq.Search(q, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantK, _, err := seq.Nearest(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{1, 4} {
+				ix := *piv
+				ix.Parallelism = p
+				gotM, st, err := ix.Search(q, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gotM, wantM) {
+					t.Fatalf("pivots=%d P=%d trial=%d τ=%d: range diverged\ngot  %v\nwant %v",
+						pivots, p, trial, tau, gotM, wantM)
+				}
+				checkPartition(t, "range", st)
+				gotK, kst, err := ix.Nearest(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gotK, wantK) {
+					t.Fatalf("pivots=%d P=%d trial=%d: kNN diverged\ngot  %v\nwant %v",
+						pivots, p, trial, gotK, wantK)
+				}
+				checkPartition(t, "kNN", kst)
+				tot.PrunedByTriangle += st.PrunedByTriangle + kst.PrunedByTriangle
+				tot.AdmittedByUpperBound += st.AdmittedByUpperBound + kst.AdmittedByUpperBound
+			}
+		}
+	}
+	if tot.PrunedByTriangle == 0 {
+		t.Fatal("triangle bound never pruned across the exact-regime workload")
+	}
+	if tot.AdmittedByUpperBound == 0 {
+		t.Fatal("upper bound never admitted across the exact-regime workload")
+	}
+}
+
+// A query that is itself a pivot collapses its bound interval (d to that
+// pivot is 0 on the corpus side), so it must be admitted without
+// verification in both range and kNN search.
+func TestPivotedSearchAdmitsPivotQueries(t *testing.T) {
+	graphs := corpus(40, 11)
+	ix := Build(graphs)
+	pv, err := ix.BuildPivots(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := graphs[pv.PivotID(0)]
+	matches, stats, err := ix.Search(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AdmittedByUpperBound == 0 {
+		t.Fatalf("searching for a pivot graph must admit it without verification: %+v", stats)
+	}
+	found := false
+	for _, m := range matches {
+		if m.ID == pv.PivotID(0) && m.Distance == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pivot graph missing from its own search: %v", matches)
+	}
+	_, kst, err := ix.Nearest(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kst.AdmittedByUpperBound == 0 {
+		t.Fatalf("kNN from a pivot graph must admit it without verification: %+v", kst)
+	}
+	checkPartition(t, "kNN", kst)
+}
+
+// AttachPivots rejects tables that don't match the corpus.
+func TestAttachPivotsValidation(t *testing.T) {
+	corpusGraphs, _ := plantedCorpus(t)
+	ix := buildCapped(corpusGraphs)
+	pv, err := ix.BuildPivots(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := buildCapped(corpusGraphs[:len(corpusGraphs)-1])
+	if err := short.AttachPivots(pv, nil); err == nil {
+		t.Fatal("a table over a different corpus size must be rejected")
+	}
+	other := buildCapped(append([]*hypergraph.Hypergraph{corpusGraphs[1]}, corpusGraphs[1:]...))
+	if err := other.AttachPivots(pv, ix.SignatureDigests()); err == nil {
+		t.Fatal("mismatched signature digests must be rejected")
+	}
+	if err := ix.AttachPivots(pv, ix.SignatureDigests()); err != nil {
+		t.Fatalf("matching digests must attach: %v", err)
+	}
+	if err := ix.AttachPivots(nil, nil); err != nil || ix.Pivots() != nil {
+		t.Fatalf("nil table must detach: err=%v pivots=%v", err, ix.Pivots())
+	}
+}
+
+// Digests are order-sensitive and content-sensitive.
+func TestSignatureDigests(t *testing.T) {
+	corpusGraphs, _ := plantedCorpus(t)
+	a := buildCapped(corpusGraphs).SignatureDigests()
+	b := buildCapped(corpusGraphs).SignatureDigests()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("digests must be deterministic")
+	}
+	seen := map[uint64]int{}
+	for _, d := range a {
+		seen[d]++
+	}
+	if len(seen) < 2 {
+		t.Fatal("digests of distinct graphs should differ")
+	}
+}
+
+// Index builds honor cancellation: a pre-cancelled context aborts before
+// any distance is computed, and a mid-build cancellation returns promptly
+// with an error wrapping ctx.Err() and leaves no pivot table attached
+// (pooled solvers are released on every path; run under -race in CI).
+func TestBuildPivotsCancelled(t *testing.T) {
+	corpusGraphs, _ := plantedCorpus(t)
+	for _, p := range []int{0, 4} {
+		ix := buildCapped(corpusGraphs)
+		ix.Parallelism = p
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := ix.BuildPivots(ctx, 4); !errors.Is(err, context.Canceled) {
+			t.Fatalf("P=%d: pre-cancelled build: err = %v", p, err)
+		}
+		if ix.Pivots() != nil {
+			t.Fatalf("P=%d: aborted build left a partial table attached", p)
+		}
+		if _, err := ix.BuildPivots(newCountdownCtx(3), 4); !errors.Is(err, context.Canceled) {
+			t.Fatalf("P=%d: mid-build cancellation: err = %v", p, err)
+		}
+		if ix.Pivots() != nil {
+			t.Fatalf("P=%d: mid-build cancellation left a partial table attached", p)
+		}
+	}
+}
+
+// Pivoted queries honor cancellation during the bound-computation stage.
+func TestPivotedSearchCancelledDuringBounds(t *testing.T) {
+	corpusGraphs, queries := plantedCorpus(t)
+	for _, p := range []int{0, 4} {
+		ix := buildCapped(corpusGraphs)
+		ix.Parallelism = p
+		if _, err := ix.BuildPivots(context.Background(), 8); err != nil {
+			t.Fatal(err)
+		}
+		ms, stats, err := ix.SearchContext(newCountdownCtx(2), queries[0], 5)
+		if !errors.Is(err, context.Canceled) || ms != nil {
+			t.Fatalf("P=%d range: err = %v, matches = %v", p, err, ms)
+		}
+		if stats.Verified != 0 {
+			t.Fatalf("P=%d range: cancelled during bounds but verified %d", p, stats.Verified)
+		}
+		if ms, _, err = ix.NearestContext(newCountdownCtx(2), queries[0], 3); !errors.Is(err, context.Canceled) || ms != nil {
+			t.Fatalf("P=%d kNN: err = %v, matches = %v", p, err, ms)
+		}
+	}
+}
+
+// BoundTimer wraps exactly the bound-computation stage of pivoted queries
+// and never fires for unpivoted ones.
+func TestBoundTimerObservesPivotedQueries(t *testing.T) {
+	corpusGraphs, queries := plantedCorpus(t)
+	ix := buildCapped(corpusGraphs)
+	calls := 0
+	ix.BoundTimer = func(compute func()) { calls++; compute() }
+	if _, _, err := ix.Search(queries[0], 3); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("BoundTimer fired %d times without a pivot table", calls)
+	}
+	if _, err := ix.BuildPivots(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Search(queries[0], 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Nearest(queries[0], 2); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("BoundTimer fired %d times, want 2 (one per pivoted query)", calls)
+	}
+}

@@ -1,0 +1,177 @@
+package search
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"hged/internal/core"
+	"hged/internal/hypergraph"
+	"hged/internal/multiset"
+	"hged/internal/pivot"
+)
+
+// BuildPivots selects k pivots by deterministic farthest-first traversal
+// (seeded at corpus index 0, ties broken toward the lowest index) and
+// precomputes the exact HGED from every corpus graph to each pivot on the
+// index's verification pool (Parallelism workers, pooled solvers). The
+// resulting table is attached to the index and returned, so it can also be
+// persisted (hgio.WritePivotSnapshot) and re-attached elsewhere.
+//
+// k is clamped to the corpus size; k = 0 detaches any pivot table, and the
+// index degrades to the plain linear filter-and-verify scan. Distances the
+// solver cannot pin exactly under MaxExpansions are recorded as unknown
+// and simply never prune, so a capped build stays sound. A cancelled ctx
+// aborts the build with an error wrapping ctx.Err(); no partial table is
+// attached.
+func (ix *Index) BuildPivots(ctx context.Context, k int) (*pivot.Index, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("search: negative pivot count %d", k)
+	}
+	if k > len(ix.graphs) {
+		k = len(ix.graphs)
+	}
+	if k == 0 {
+		ix.pivots = nil
+		return pivot.NewBuilder(len(ix.graphs)).Index(), nil
+	}
+	b := pivot.NewBuilder(len(ix.graphs))
+	for t := 0; t < k; t++ {
+		id, ok := b.Next()
+		if !ok {
+			break
+		}
+		pg := ix.graphs[id]
+		col := make([]int32, len(ix.graphs))
+		done, err := ix.forEach(ctx, len(ix.graphs), func(sv *core.Solver, j int) {
+			col[j] = ix.exactDistance(ctx, sv, ix.graphs[j], pg)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("search: pivot build aborted at pivot %d/%d after %d/%d distances: %w",
+				t, k, done, len(ix.graphs), err)
+		}
+		b.Add(id, col)
+	}
+	pv := b.Index()
+	ix.pivots = pv
+	return pv, nil
+}
+
+// AttachPivots installs a previously built pivot table (typically loaded
+// from a snapshot). When digests is non-nil it must equal
+// SignatureDigests() entry for entry — the proof the table was built over
+// this exact corpus — otherwise the table is rejected and the index left
+// unchanged. A nil table detaches.
+func (ix *Index) AttachPivots(pv *pivot.Index, digests []uint64) error {
+	if pv == nil {
+		ix.pivots = nil
+		return nil
+	}
+	if pv.Len() != len(ix.graphs) {
+		return fmt.Errorf("search: pivot table covers %d graphs, corpus has %d", pv.Len(), len(ix.graphs))
+	}
+	if digests != nil {
+		own := ix.SignatureDigests()
+		if len(digests) != len(own) {
+			return fmt.Errorf("search: snapshot carries %d signatures, corpus has %d", len(digests), len(own))
+		}
+		for i := range own {
+			if digests[i] != own[i] {
+				return fmt.Errorf("search: snapshot signature %d does not match the corpus (index built for a different corpus?)", i)
+			}
+		}
+	}
+	ix.pivots = pv
+	return nil
+}
+
+// Pivots returns the attached pivot table, or nil.
+func (ix *Index) Pivots() *pivot.Index { return ix.pivots }
+
+// SignatureDigests fingerprints every corpus graph's filter signature
+// (FNV-1a over a canonical encoding of counts, cardinalities and label
+// multisets). Snapshots persist these so a loaded pivot table can be
+// bound to the corpus it was built over.
+func (ix *Index) SignatureDigests() []uint64 {
+	out := make([]uint64, len(ix.sigs))
+	for i := range ix.sigs {
+		out[i] = ix.sigs[i].digest()
+	}
+	return out
+}
+
+// digest canonically encodes the signature into an FNV-1a fingerprint.
+func (s signature) digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(int64(s.n))
+	put(int64(s.m))
+	put(int64(s.incid))
+	put(int64(len(s.cards)))
+	for _, c := range s.cards {
+		put(int64(c))
+	}
+	putCounts(put, s.nodeLabels)
+	putCounts(put, s.edgeLabels)
+	return h.Sum64()
+}
+
+// putCounts feeds a label multiset into the digest in ascending label
+// order (map iteration order must never reach the hash).
+func putCounts(put func(int64), c multiset.Counts) {
+	labels := make([]int, 0, len(c))
+	for l := range c {
+		labels = append(labels, int(l))
+	}
+	sort.Ints(labels)
+	put(int64(len(labels)))
+	for _, l := range labels {
+		put(int64(l))
+		put(int64(c[hypergraph.Label(l)]))
+	}
+}
+
+// exactDistance computes HGED(g, h) on the given solver, honoring the
+// index's expansion cap, and reports pivot.Unknown when the solver could
+// not prove optimality (budget exhausted or ctx cancelled) — unknown
+// entries never participate in bounds, keeping them sound.
+func (ix *Index) exactDistance(ctx context.Context, sv *core.Solver, g, h *hypergraph.Hypergraph) int32 {
+	res := sv.BFS(g, h, core.Options{MaxExpansions: ix.MaxExpansions, Context: ctx})
+	if !res.Exact {
+		return pivot.Unknown
+	}
+	return int32(res.Distance)
+}
+
+// queryPivotDistances computes the query's exact distance to every pivot
+// on the verification pool, wrapped by BoundTimer when set. It returns nil
+// when no pivot table is attached (the engine then skips the triangle
+// filter entirely and behaves exactly like the linear scan).
+func (ix *Index) queryPivotDistances(ctx context.Context, q *hypergraph.Hypergraph) ([]int32, error) {
+	pv := ix.pivots
+	if pv == nil || pv.K() == 0 {
+		return nil, nil
+	}
+	qd := make([]int32, pv.K())
+	var err error
+	compute := func() {
+		_, err = ix.forEach(ctx, pv.K(), func(sv *core.Solver, j int) {
+			qd[j] = ix.exactDistance(ctx, sv, q, ix.graphs[pv.PivotID(j)])
+		})
+	}
+	if ix.BoundTimer != nil {
+		ix.BoundTimer(compute)
+	} else {
+		compute()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("search: pivot bound computation aborted: %w", err)
+	}
+	return qd, nil
+}

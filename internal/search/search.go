@@ -4,7 +4,11 @@
 // paradigm of the GED similarity-search literature the paper builds on
 // (Sanfeliu & Fu; Zhao et al.; Chang et al. — refs [25], [27]–[30]):
 // cheap per-graph signatures prune candidates with admissible lower bounds,
-// and only survivors pay for an exact HGED-BFS verification.
+// and only survivors pay for an exact HGED-BFS verification. An attached
+// pivot table (internal/pivot; BuildPivots) adds a metric filter on top:
+// HGED is a true metric, so precomputed graph-to-pivot distances bracket
+// every query distance by the triangle inequality — lower bounds above τ
+// prune, and collapsed intervals admit matches, both without verification.
 //
 // Verification is embarrassingly parallel, so an Index can fan it out over
 // a bounded pool of pooled solvers (Index.Parallelism). The engine is
@@ -26,6 +30,7 @@ import (
 	"hged/internal/core"
 	"hged/internal/hypergraph"
 	"hged/internal/multiset"
+	"hged/internal/pivot"
 )
 
 // signature is the per-graph filter summary: entity counts, label
@@ -93,16 +98,27 @@ func combinedFilter(a, b signature) int {
 }
 
 // Index is a similarity-search index over a corpus of hypergraphs. Build
-// once with Build; Search and Nearest may be called repeatedly.
+// once with Build; Search and Nearest may be called repeatedly. An
+// attached pivot table (BuildPivots / AttachPivots) accelerates both with
+// triangle-inequality bounds; without one, every query is the linear
+// filter-and-verify scan.
 type Index struct {
 	graphs []*hypergraph.Hypergraph
 	sigs   []signature
+	// pivots, when non-nil with at least one pivot, adds the
+	// triangle-inequality candidate filter in front of verification.
+	pivots *pivot.Index
 	// MaxExpansions caps each verification search (0 = solver default).
 	MaxExpansions int64
 	// Parallelism is the number of verification workers, each with its own
 	// pooled solver. Values ≤ 1 verify sequentially on one solver. Matches
 	// and stats are identical at every setting; only wall-clock changes.
 	Parallelism int
+	// BoundTimer, when non-nil, wraps the query-to-pivot distance
+	// computation of each pivoted query, so callers can record
+	// bound-computation latency without the engine reading the wall clock
+	// (solver code must stay a pure function of its inputs).
+	BoundTimer func(compute func())
 }
 
 // Build indexes the corpus. The graphs are retained by reference and must
@@ -129,7 +145,8 @@ type Match struct {
 
 // FilterStats reports how candidates were eliminated during one search.
 // The fields partition the corpus: PrunedByCount + PrunedByLabel +
-// PrunedByCard + PrunedByBound + Verified == Candidates.
+// PrunedByCard + PrunedByBound + PrunedByTriangle + AdmittedByUpperBound +
+// Verified == Candidates.
 type FilterStats struct {
 	Candidates    int // corpus size
 	PrunedByCount int
@@ -138,9 +155,20 @@ type FilterStats struct {
 	// PrunedByBound counts kNN candidates never verified because their
 	// combined lower bound already exceeded the k-th best verified
 	// distance (the bound-ordered early stop). Always 0 in range search.
-	PrunedByBound  int
-	Verified       int // exact HGED verifications performed
-	VerifiedWithin int // verifications that ended ≤ τ
+	PrunedByBound int
+	// PrunedByTriangle counts candidates eliminated by the pivot index's
+	// triangle-inequality lower bound: in range search because the bound
+	// exceeded τ, in kNN because the bound-ordered early stop cut a
+	// candidate whose triangle bound (not its signature bound) was the
+	// binding constraint. Always 0 without an attached pivot index.
+	PrunedByTriangle int
+	// AdmittedByUpperBound counts matches accepted without verification
+	// because the pivot bound interval collapsed (lower == upper pins the
+	// exact distance) within the verification threshold — typically corpus
+	// members that are pivots, or isomorphic to one.
+	AdmittedByUpperBound int
+	Verified             int // exact HGED verifications performed
+	VerifiedWithin       int // verifications that ended ≤ τ
 }
 
 // unboundedTau is the sentinel kNN threshold while fewer than k candidates
@@ -172,6 +200,11 @@ func (ix *Index) SearchContext(ctx context.Context, q *hypergraph.Hypergraph, ta
 	}
 	qs := signatureOf(q)
 	stats := FilterStats{Candidates: len(ix.graphs)}
+	qd, err := ix.queryPivotDistances(ctx, q)
+	if err != nil {
+		return nil, stats, err
+	}
+	var admitted []Match
 	survivors := make([]int, 0, len(ix.sigs))
 	for i, s := range ix.sigs {
 		switch {
@@ -182,6 +215,22 @@ func (ix *Index) SearchContext(ctx context.Context, q *hypergraph.Hypergraph, ta
 		case cardFilter(qs, s) > tau:
 			stats.PrunedByCard++
 		default:
+			if qd != nil {
+				// Triangle bounds: a lower bound above τ proves a
+				// non-match; a collapsed interval within τ pins the exact
+				// distance and admits the match with no verification.
+				if lb, ub, ok := ix.pivots.Bounds(qd, i); ok {
+					if lb > tau {
+						stats.PrunedByTriangle++
+						continue
+					}
+					if lb == ub && ub <= tau {
+						stats.AdmittedByUpperBound++
+						admitted = append(admitted, Match{ID: i, Distance: ub})
+						continue
+					}
+				}
+			}
 			survivors = append(survivors, i)
 		}
 	}
@@ -200,7 +249,7 @@ func (ix *Index) SearchContext(ctx context.Context, q *hypergraph.Hypergraph, ta
 		return nil, stats, fmt.Errorf("search: range scan aborted after %d/%d verifications: %w",
 			done, len(survivors), err)
 	}
-	var out []Match
+	out := admitted
 	for j, r := range results {
 		if r.within {
 			stats.VerifiedWithin++
@@ -286,11 +335,13 @@ const nearestRound = 16
 
 // Nearest returns the k corpus members closest to q by HGED, ascending by
 // distance then id (equal distances resolve to the smaller ID). It expands
-// candidates in lower-bound order, round by round: each round verifies up
-// to nearestRound candidates under the k-th-best distance of the previous
-// rounds (shared with the workers through an atomically tightening
-// threshold) and stops once the next candidate's bound exceeds it; the
-// skipped tail is reported as PrunedByBound.
+// candidates in lower-bound order (the combined signature bound, tightened
+// by the triangle bound when a pivot table is attached), round by round:
+// each round verifies up to nearestRound candidates under the k-th-best
+// distance of the previous rounds (shared with the workers through an
+// atomically tightening threshold) and stops once the next candidate's
+// bound exceeds it; the skipped tail is reported as PrunedByBound, or
+// PrunedByTriangle where the triangle bound was the binding constraint.
 func (ix *Index) Nearest(q *hypergraph.Hypergraph, k int) ([]Match, FilterStats, error) {
 	return ix.NearestContext(context.Background(), q, k)
 }
@@ -304,14 +355,35 @@ func (ix *Index) NearestContext(ctx context.Context, q *hypergraph.Hypergraph, k
 	}
 	qs := signatureOf(q)
 	stats := FilterStats{Candidates: len(ix.graphs)}
+	qd, err := ix.queryPivotDistances(ctx, q)
+	if err != nil {
+		return nil, stats, err
+	}
 
 	type cand struct {
 		id    int
 		bound int
+		// triangle records that the triangle lower bound (not the
+		// signature bound) is the binding constraint, for prune
+		// attribution; known pins the exact distance (collapsed interval).
+		triangle bool
+		known    bool
+		dist     int
 	}
 	cands := make([]cand, len(ix.sigs))
 	for i, s := range ix.sigs {
-		cands[i] = cand{id: i, bound: combinedFilter(qs, s)}
+		c := cand{id: i, bound: combinedFilter(qs, s)}
+		if qd != nil {
+			if lb, ub, ok := ix.pivots.Bounds(qd, i); ok {
+				if lb > c.bound {
+					c.bound, c.triangle = lb, true
+				}
+				if lb == ub {
+					c.known, c.dist = true, ub
+				}
+			}
+		}
+		cands[i] = c
 	}
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].bound != cands[b].bound {
@@ -352,24 +424,44 @@ func (ix *Index) NearestContext(ctx context.Context, q *hypergraph.Hypergraph, k
 			end++
 		}
 		base := pos
+		roundKnown := 0
+		for j := pos; j < end; j++ {
+			if cands[j].known {
+				roundKnown++
+			}
+		}
 		results := make([]core.Result, end-pos)
 		done, err := ix.forEach(ctx, end-pos, func(sv *core.Solver, j int) {
+			c := cands[base+j]
+			t := int(sharedTau.Load())
+			if c.known {
+				// The pivot bounds already pin the exact distance: no
+				// solver run, same threshold semantics as a verification.
+				results[j] = core.Result{Distance: c.dist, Exact: true, Exceeded: t < unboundedTau && c.dist > t}
+				return
+			}
 			opts := core.Options{MaxExpansions: ix.MaxExpansions, Context: ctx}
-			if t := int(sharedTau.Load()); t < unboundedTau {
+			if t < unboundedTau {
 				opts.Threshold = t
 			}
-			results[j] = sv.BFS(q, ix.graphs[cands[base+j].id], opts)
+			results[j] = sv.BFS(q, ix.graphs[c.id], opts)
 		})
-		stats.Verified += done
 		if err != nil {
+			// Partial round: admitted/verified attribution is unknowable
+			// mid-flight, so fold everything into Verified for the report.
+			stats.Verified += done
 			return nil, stats, fmt.Errorf("search: kNN scan aborted after %d/%d candidates: %w",
 				base+done, len(cands), err)
 		}
+		stats.Verified += (end - pos) - roundKnown
+		stats.AdmittedByUpperBound += roundKnown
 		for j := range results {
 			if results[j].Exceeded {
 				continue
 			}
-			stats.VerifiedWithin++
+			if !cands[base+j].known {
+				stats.VerifiedWithin++
+			}
 			best = append(best, Match{ID: cands[base+j].id, Distance: results[j].Distance})
 			sortMatches(best)
 			if len(best) > k {
@@ -378,6 +470,12 @@ func (ix *Index) NearestContext(ctx context.Context, q *hypergraph.Hypergraph, k
 		}
 		pos = end
 	}
-	stats.PrunedByBound = len(cands) - pos
+	for _, c := range cands[pos:] {
+		if c.triangle {
+			stats.PrunedByTriangle++
+		} else {
+			stats.PrunedByBound++
+		}
+	}
 	return best, stats, nil
 }

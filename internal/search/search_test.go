@@ -53,7 +53,8 @@ func TestSearchMatchesBruteForce(t *testing.T) {
 				t.Fatalf("trial %d: match %d = %v, want %v", trial, i, got[i], want[i])
 			}
 		}
-		if stats.PrunedByCount+stats.PrunedByLabel+stats.PrunedByCard+stats.PrunedByBound+stats.Verified != stats.Candidates {
+		if stats.PrunedByCount+stats.PrunedByLabel+stats.PrunedByCard+stats.PrunedByBound+
+			stats.PrunedByTriangle+stats.AdmittedByUpperBound+stats.Verified != stats.Candidates {
 			t.Fatalf("trial %d: stats don't add up: %+v", trial, stats)
 		}
 		if stats.PrunedByBound != 0 {
@@ -111,7 +112,8 @@ func TestNearestMatchesBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if stats.PrunedByCount+stats.PrunedByLabel+stats.PrunedByCard+stats.PrunedByBound+stats.Verified != stats.Candidates {
+		if stats.PrunedByCount+stats.PrunedByLabel+stats.PrunedByCard+stats.PrunedByBound+
+			stats.PrunedByTriangle+stats.AdmittedByUpperBound+stats.Verified != stats.Candidates {
 			t.Fatalf("trial %d: kNN stats don't add up: %+v", trial, stats)
 		}
 		// Brute-force k smallest distances (ties arbitrary → compare the

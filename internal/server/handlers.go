@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -376,22 +377,86 @@ type searchIndex struct {
 	ix      *hged.SearchIndex
 }
 
-func (s *Server) corpusIndex() (*hged.SearchIndex, []string) {
+// corpusIndex returns the shared search index, (re)building it — and its
+// pivot table, when Config.Pivots asks for one — under the lock whenever
+// the registry changed. ctx bounds the pivot-distance precompute; on error
+// (a cancelled build, typically) nothing is cached, so the next caller
+// retries rather than silently serving an unaccelerated index.
+func (s *Server) corpusIndex(ctx context.Context) (*hged.SearchIndex, []string, error) {
 	s.search.mu.Lock()
 	defer s.search.mu.Unlock()
-	if v := s.reg.Version(); s.search.ix == nil || s.search.version != v {
-		entries := s.reg.List()
-		graphs := make([]*hged.Hypergraph, len(entries))
-		names := make([]string, len(entries))
-		for i, e := range entries {
-			graphs[i] = e.Graph
-			names[i] = e.Name
-		}
-		s.search.ix = hged.BuildSearchIndex(graphs)
-		s.search.names = names
-		s.search.version = v
+	v := s.reg.Version()
+	if s.search.ix != nil && s.search.version == v {
+		return s.search.ix, s.search.names, nil
 	}
-	return s.search.ix, s.search.names
+	entries := s.reg.List()
+	graphs := make([]*hged.Hypergraph, len(entries))
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		graphs[i] = e.Graph
+		names[i] = e.Name
+	}
+	ix := hged.BuildSearchIndex(graphs)
+	if err := s.equipPivots(ctx, ix); err != nil {
+		return nil, nil, err
+	}
+	s.search.ix = ix
+	s.search.names = names
+	s.search.version = v
+	return s.search.ix, s.search.names, nil
+}
+
+// equipPivots attaches the configured pivot table to a freshly built
+// index: loaded from the snapshot when one matches this exact corpus and
+// pivot count, built (on all cores, capped per pair like synchronous
+// queries) and persisted otherwise. Build distances the cap cannot pin
+// stay unknown — the accelerator degrades toward the plain scan, never
+// turns unsound.
+func (s *Server) equipPivots(ctx context.Context, ix *hged.SearchIndex) error {
+	if s.cfg.Pivots <= 0 {
+		s.metrics.pivotAttached(0, "none")
+		return nil
+	}
+	digests := ix.SignatureDigests()
+	want := s.cfg.Pivots
+	if n := len(digests); want > n {
+		want = n
+	}
+	if path := s.cfg.IndexSnapshot; path != "" {
+		pv, snapDigests, err := hged.ReadPivotSnapshotFile(path)
+		switch {
+		case err != nil:
+			s.cfg.Logger.Printf("pivot snapshot %s unusable, rebuilding: %v", path, err)
+		case pv.K() != want:
+			s.cfg.Logger.Printf("pivot snapshot %s has %d pivots, want %d: rebuilding", path, pv.K(), want)
+		default:
+			if aerr := ix.AttachPivots(pv, snapDigests); aerr != nil {
+				s.cfg.Logger.Printf("pivot snapshot %s rejected, rebuilding: %v", path, aerr)
+			} else {
+				s.cfg.Logger.Printf("pivot index loaded from %s (%d pivots, %d graphs)", path, pv.K(), pv.Len())
+				s.metrics.pivotAttached(pv.K(), "snapshot")
+				return nil
+			}
+		}
+	}
+	ix.Parallelism = runtime.GOMAXPROCS(0)
+	ix.MaxExpansions = s.cfg.MaxSyncExpansions
+	pv, err := ix.BuildPivots(ctx, s.cfg.Pivots)
+	ix.Parallelism = 0
+	ix.MaxExpansions = 0
+	if err != nil {
+		return err
+	}
+	s.cfg.Logger.Printf("pivot index built (%d pivots, %d graphs)", pv.K(), pv.Len())
+	s.metrics.pivotAttached(pv.K(), "built")
+	if path := s.cfg.IndexSnapshot; path != "" {
+		if werr := hged.WritePivotSnapshotFile(path, pv, digests); werr != nil {
+			s.cfg.Logger.Printf("persisting pivot snapshot %s failed: %v", path, werr)
+		} else {
+			s.cfg.Logger.Printf("pivot snapshot written to %s", path)
+		}
+	}
+	return nil
 }
 
 // handleSearch runs a range (τ) or kNN similarity search of the query
@@ -433,15 +498,30 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parallelism = %d, must be ≥ 0", req.Parallelism)
 		return
 	}
-	shared, names := s.corpusIndex()
+	shared, names, err := s.corpusIndex(r.Context())
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "building search index: %v", err)
+		return
+	}
 	// Shallow-copy the index so the per-request expansion cap and worker
-	// count never race with concurrent searches; the corpus slices are
-	// shared read-only.
+	// count never race with concurrent searches; the corpus slices and
+	// pivot table are shared read-only.
 	ix := *shared
 	ix.MaxExpansions = s.capExpansions(req.MaxExpansions)
 	ix.Parallelism = req.Parallelism
 	if ix.Parallelism > maxSearchParallelism {
 		ix.Parallelism = maxSearchParallelism
+	}
+	// Pivoted queries spend a few exact solves computing triangle bounds
+	// before filtering; the timer feeds the /metrics pivot histogram.
+	ix.BoundTimer = func(compute func()) {
+		boundStart := time.Now()
+		compute()
+		s.metrics.pivotBound(time.Since(boundStart))
 	}
 	// The request context is cancelled by http.TimeoutHandler at the
 	// response deadline and by client disconnects, so an abandoned scan
@@ -450,7 +530,6 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var (
 		matches []hged.SearchMatch
 		stats   hged.FilterStats
-		err     error
 	)
 	if req.K > 0 {
 		matches, stats, err = ix.NearestContext(r.Context(), q, req.K)

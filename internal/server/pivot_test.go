@@ -1,0 +1,232 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hged"
+	"hged/internal/server"
+)
+
+// newPivotEnv builds a server over a small uniform-graph corpus (cheap
+// exact HGED, so pivot tables are fully known) and eagerly initializes the
+// search index the way cmd/hgedd does after startup loading.
+func newPivotEnv(t *testing.T, cfg server.Config) *testEnv {
+	t.Helper()
+	s := server.New(cfg)
+	for i := 0; i < 10; i++ {
+		g := hged.GenerateUniform(4+i%3, 2+i%2, 3, 3, 2, int64(100+i))
+		if _, err := s.Registry().Add(fmt.Sprintf("g%02d", i), g, "builtin"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.InitSearchIndex(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	env := &testEnv{t: t, srv: s, ts: ts}
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Close(context.Background())
+	})
+	return env
+}
+
+type searchResponse struct {
+	Matches []struct {
+		Name     string `json:"name"`
+		Distance int    `json:"distance"`
+	} `json:"matches"`
+	Stats hged.FilterStats `json:"stats"`
+}
+
+type metricsResponse struct {
+	Search struct {
+		PrunedByTriangle     int64 `json:"prunedByTriangle"`
+		AdmittedByUpperBound int64 `json:"admittedByUpperBound"`
+	} `json:"search"`
+	Pivot struct {
+		Pivots            int    `json:"pivots"`
+		Source            string `json:"source"`
+		BoundComputations int64  `json:"boundComputations"`
+		BoundLatency      struct {
+			Count int64 `json:"count"`
+		} `json:"boundLatency"`
+	} `json:"pivot"`
+}
+
+func TestPivotIndexBuildAndSearch(t *testing.T) {
+	env := newPivotEnv(t, server.Config{Pivots: 4})
+	var resp searchResponse
+	if code := env.do("POST", "/v1/search", map[string]any{
+		"query": map[string]any{"name": "g03"}, "tau": 2,
+	}, &resp); code != 200 {
+		t.Fatalf("search status %d", code)
+	}
+	sum := resp.Stats.PrunedByCount + resp.Stats.PrunedByLabel + resp.Stats.PrunedByCard +
+		resp.Stats.PrunedByBound + resp.Stats.PrunedByTriangle +
+		resp.Stats.AdmittedByUpperBound + resp.Stats.Verified
+	if sum != resp.Stats.Candidates {
+		t.Fatalf("stats don't partition candidates: %+v", resp.Stats)
+	}
+	var m metricsResponse
+	if code := env.do("GET", "/metrics", nil, &m); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if m.Pivot.Pivots != 4 || m.Pivot.Source != "built" {
+		t.Fatalf("pivot metrics = %+v, want 4 built pivots", m.Pivot)
+	}
+	if m.Pivot.BoundComputations != 1 || m.Pivot.BoundLatency.Count != 1 {
+		t.Fatalf("one pivoted query must record one bound computation: %+v", m.Pivot)
+	}
+}
+
+func TestPivotlessServerReportsNone(t *testing.T) {
+	env := newPivotEnv(t, server.Config{})
+	var m metricsResponse
+	if code := env.do("GET", "/metrics", nil, &m); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if m.Pivot.Pivots != 0 || m.Pivot.Source != "none" {
+		t.Fatalf("pivot metrics = %+v, want none", m.Pivot)
+	}
+}
+
+// A snapshot written by one server is loaded (not rebuilt) by the next one
+// over the same corpus, and pivoted results are identical either way.
+func TestPivotSnapshotLoadedBySecondServer(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "pivots.snap")
+	query := map[string]any{"query": map[string]any{"name": "g05"}, "tau": 3}
+
+	first := newPivotEnv(t, server.Config{Pivots: 3, IndexSnapshot: snap})
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("InitSearchIndex did not persist the snapshot: %v", err)
+	}
+	var want searchResponse
+	if code := first.do("POST", "/v1/search", query, &want); code != 200 {
+		t.Fatalf("search status %d", code)
+	}
+
+	second := newPivotEnv(t, server.Config{Pivots: 3, IndexSnapshot: snap})
+	var m metricsResponse
+	if code := second.do("GET", "/metrics", nil, &m); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if m.Pivot.Source != "snapshot" || m.Pivot.Pivots != 3 {
+		t.Fatalf("second server pivot metrics = %+v, want 3 pivots from snapshot", m.Pivot)
+	}
+	var got searchResponse
+	if code := second.do("POST", "/v1/search", query, &got); code != 200 {
+		t.Fatalf("search status %d", code)
+	}
+	if !reflect.DeepEqual(got.Matches, want.Matches) {
+		t.Fatalf("snapshot-loaded index diverged:\ngot  %+v\nwant %+v", got.Matches, want.Matches)
+	}
+}
+
+// A snapshot over a different corpus (or pivot count) is rejected and the
+// server rebuilds instead of serving wrong bounds.
+func TestPivotSnapshotMismatchRebuilds(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "pivots.snap")
+	newPivotEnv(t, server.Config{Pivots: 3, IndexSnapshot: snap})
+
+	s := server.New(server.Config{Pivots: 3, IndexSnapshot: snap})
+	for i := 0; i < 6; i++ { // a different corpus
+		g := hged.GenerateUniform(5, 3, 3, 3, 2, int64(900+i))
+		if _, err := s.Registry().Add(fmt.Sprintf("other%d", i), g, "builtin"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.InitSearchIndex(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	env := &testEnv{t: t, srv: s, ts: ts}
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Close(context.Background())
+	})
+	var m metricsResponse
+	if code := env.do("GET", "/metrics", nil, &m); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if m.Pivot.Source != "built" {
+		t.Fatalf("mismatched snapshot must force a rebuild, got %+v", m.Pivot)
+	}
+	// The rebuild refreshed the snapshot: a third server over the new
+	// corpus loads it.
+	s2 := server.New(server.Config{Pivots: 3, IndexSnapshot: snap})
+	for i := 0; i < 6; i++ {
+		g := hged.GenerateUniform(5, 3, 3, 3, 2, int64(900+i))
+		if _, err := s2.Registry().Add(fmt.Sprintf("other%d", i), g, "builtin"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s2.InitSearchIndex(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s2.Close(context.Background()) })
+}
+
+// Uploading a graph invalidates the cached index; the next search rebuilds
+// it with pivots over the grown corpus.
+func TestUploadRebuildsPivotIndex(t *testing.T) {
+	env := newPivotEnv(t, server.Config{Pivots: 4})
+	if code := env.do("POST", "/v1/search", map[string]any{
+		"query": map[string]any{"name": "g00"}, "tau": 1,
+	}, nil); code != 200 {
+		t.Fatalf("search status %d", code)
+	}
+	if code := env.do("POST", "/v1/graphs", map[string]any{
+		"name": "extra", "format": "hg", "data": "nodes 3\nedge 1 0 1 2\n",
+	}, nil); code != 201 {
+		t.Fatalf("upload status %d", code)
+	}
+	var resp searchResponse
+	if code := env.do("POST", "/v1/search", map[string]any{
+		"query": map[string]any{"name": "extra"}, "tau": 0,
+	}, &resp); code != 200 {
+		t.Fatalf("post-upload search status %d", code)
+	}
+	found := false
+	for _, mt := range resp.Matches {
+		if mt.Name == "extra" && mt.Distance == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("uploaded graph missing from its own search: %+v", resp.Matches)
+	}
+	var m metricsResponse
+	if code := env.do("GET", "/metrics", nil, &m); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if m.Pivot.Pivots != 4 || m.Pivot.Source != "built" {
+		t.Fatalf("rebuilt index lost its pivots: %+v", m.Pivot)
+	}
+}
+
+func TestInitSearchIndexCancelled(t *testing.T) {
+	s := server.New(server.Config{Pivots: 4})
+	for i := 0; i < 6; i++ {
+		g := hged.GenerateUniform(5, 3, 3, 3, 2, int64(300+i))
+		if _, err := s.Registry().Add(fmt.Sprintf("g%d", i), g, "builtin"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.InitSearchIndex(ctx); err == nil {
+		t.Fatal("cancelled init must fail")
+	}
+	// The failed build cached nothing; a live context succeeds afterwards.
+	if err := s.InitSearchIndex(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close(context.Background()) })
+}

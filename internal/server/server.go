@@ -45,6 +45,16 @@ type Config struct {
 	// synchronous queries (requests may ask for less, never more). 0
 	// defaults to 2,000,000.
 	MaxSyncExpansions int64
+	// Pivots is the pivot count for the similarity-search metric index:
+	// when > 0 the search corpus gets a pivot table (built at
+	// InitSearchIndex, rebuilt lazily when uploads change the corpus) that
+	// prunes candidates by the triangle inequality before the signature
+	// filters. 0 disables the accelerator (plain linear filter-and-verify).
+	Pivots int
+	// IndexSnapshot, when non-empty, is the path the pivot table is
+	// persisted at: InitSearchIndex loads it when it matches the corpus
+	// (skipping the build) and writes it after building otherwise.
+	IndexSnapshot string
 	// Logger receives one structured line per request. Nil discards.
 	Logger *log.Logger
 }
@@ -106,6 +116,18 @@ func New(cfg Config) *Server {
 
 // Registry exposes the graph registry (for startup loading and tests).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// InitSearchIndex eagerly builds the similarity-search index — and its
+// pivot table when Config.Pivots > 0, loading Config.IndexSnapshot when it
+// matches the corpus and persisting a fresh build there otherwise — so the
+// first /v1/search query doesn't pay for the build. Call it after startup
+// loading; later uploads invalidate the index and it is rebuilt lazily
+// (including pivots) on the next search. ctx bounds the pivot-distance
+// precompute.
+func (s *Server) InitSearchIndex(ctx context.Context) error {
+	_, _, err := s.corpusIndex(ctx)
+	return err
+}
 
 // Jobs exposes the job manager (for tests and draining).
 func (s *Server) Jobs() *JobManager { return s.jobs }
