@@ -420,6 +420,50 @@ func suite() []benchmark {
 			}
 			b.ReportMetric(float64(expanded)/float64(b.N), "expansions/op")
 		}},
+		// The CSR pair measures the frozen dense-layout hot paths directly:
+		// neighbors as offset-range scans over a bitset, ego extraction as
+		// the uncached neighbor-scan + induced-subgraph path (Ego itself
+		// memoizes, which would measure only the cache).
+		{"CSR/neighbors", func(b *testing.B) {
+			g := plantedHost()
+			g.Freeze()
+			n := g.NumNodes()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Neighbors(hged.NodeID(i % n))
+			}
+		}},
+		{"CSR/ego-bitset", func(b *testing.B) {
+			g := plantedHost()
+			g.Freeze()
+			pick, best := hged.NodeID(0), -1
+			for v := 0; v < g.NumNodes(); v++ {
+				if k := g.NumNeighbors(hged.NodeID(v)); k > best {
+					pick, best = hged.NodeID(v), k
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.InducedSubgraph(g.Neighbors(pick))
+			}
+		}},
+		// filter-batch runs a range query against a corpus large enough
+		// that the batched cheap-bound pass over the SoA signature table
+		// dominates; verified/op records how little verification pollutes
+		// the measurement.
+		{"Search/filter-batch", func(b *testing.B) {
+			ix, q := filterBatchWorkload()
+			var verified int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := ix.Search(q, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				verified += int64(stats.Verified)
+			}
+			b.ReportMetric(float64(verified)/float64(b.N), "verified/op")
+		}},
 		{"Search/range", func(b *testing.B) {
 			ix, q := searchWorkload()
 			var verified int64
@@ -550,6 +594,21 @@ func benchPivotKNN(b *testing.B, pivots int) {
 		verified += int64(stats.Verified)
 	}
 	b.ReportMetric(float64(verified)/float64(b.N), "verified/op")
+}
+
+// filterBatchWorkload builds the filter-stage corpus: 256 small uniform
+// hypergraphs and a τ=1 query drawn from the corpus, so nearly every
+// candidate is eliminated inside the signature filters and the benchmark
+// times the batched cheap-bound pass itself.
+func filterBatchWorkload() (*search.Index, *hged.Hypergraph) {
+	rng := rand.New(rand.NewSource(23))
+	corpus := make([]*hged.Hypergraph, 256)
+	for i := range corpus {
+		corpus[i] = gen.Uniform(3+rng.Intn(5), 1+rng.Intn(4), 3, 4, 3, rng.Int63()+1)
+	}
+	ix := search.Build(corpus)
+	ix.MaxExpansions = 50_000
+	return ix, corpus[17]
 }
 
 // searchWorkload builds the shared similarity-search corpus: 12 ego

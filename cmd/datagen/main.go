@@ -1,18 +1,21 @@
-// Command datagen generates hypergraphs in the .hg text format: synthetic
-// replicas of the paper's six datasets (Table I), planted-community graphs
-// with custom parameters, or sub-samples of an existing graph.
+// Command datagen generates hypergraphs: synthetic replicas of the paper's
+// six datasets (Table I), planted-community graphs with custom parameters,
+// or sub-samples of an existing graph. The output format follows the -o
+// extension — .hg text by default, .json, or the .hgb binary format.
 //
 // Usage:
 //
 //	datagen -dataset PS [-scale 0.1] [-o ps.hg]
-//	datagen -nodes 500 -edges 1200 [-mean 4] [-median 3] [-labels 8] [-seed 7] [-o g.hg]
+//	datagen -nodes 500 -edges 1200 [-mean 4] [-median 3] [-labels 8] [-seed 7] [-o g.hgb]
 //	datagen -subsample g.hg -node-frac 0.5 -edge-frac 0.5 [-o sub.hg]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"hged/internal/dataset"
 	"hged/internal/gen"
@@ -79,14 +82,27 @@ func run() error {
 		return fmt.Errorf("need -dataset, -nodes, or -subsample")
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	if *out == "" {
+		return hgio.WriteText(os.Stdout, g)
 	}
-	return hgio.WriteText(w, g)
+	switch filepath.Ext(*out) {
+	case ".hgb":
+		return hgio.WriteBinaryFile(*out, g)
+	case ".json":
+		return writeVia(*out, g, hgio.WriteJSON)
+	default:
+		return writeVia(*out, g, hgio.WriteText)
+	}
+}
+
+func writeVia(path string, g *hypergraph.Hypergraph, write func(io.Writer, *hypergraph.Hypergraph) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -41,12 +41,7 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("need one graph file")
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		return err
-	}
-	g, err := hgio.ReadText(f)
-	f.Close()
+	g, err := hgio.ReadFile(flag.Arg(0))
 	if err != nil {
 		return err
 	}

@@ -94,12 +94,7 @@ func run() error {
 }
 
 func load(path string) (*hypergraph.Hypergraph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return hgio.ReadText(f)
+	return hgio.ReadFile(path)
 }
 
 func parsePair(s string, n int) (hypergraph.NodeID, hypergraph.NodeID, error) {

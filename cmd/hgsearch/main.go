@@ -156,10 +156,5 @@ func equipPivots(ctx context.Context, ix *search.Index, k int, snapshot string) 
 }
 
 func load(path string) (*hypergraph.Hypergraph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return hgio.ReadText(f)
+	return hgio.ReadFile(path)
 }

@@ -296,7 +296,7 @@ func (s *bfsSearch) run(opts Options) Result {
 
 	rootLB := 0
 	if s.useLB {
-		rootLB = lowerBoundDataModel(p.src, p.tgt, p.w)
+		rootLB = p.rootLowerBound()
 	}
 
 	if rootLB < bound {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"hged/internal/assign"
 	"hged/internal/hypergraph"
 	"hged/internal/multiset"
@@ -29,6 +31,59 @@ func lowerBoundDataModel(s, t *graphData, w CostModel) int {
 	lb += weightedPsi(multiset.PsiLabels(s.edgeLabels, t.edgeLabels), s.m-t.m, w.Edge, w.minEdgeMismatch())
 	lb += multiset.CardinalityBound(s.cards, t.cards) * w.Incidence
 	return lb
+}
+
+// rootLowerBound is lowerBoundDataModel on the pair's own compiled data,
+// computed over the dense pair-union label ids with retained scratch so a
+// warm solver derives the root bound without allocating: Ψ is a counting
+// pass over the interned ids, and the cardinality bound sorts retained
+// copies of the cards lists and L1-walks them top-aligned (identical to
+// zero-padding the front of the shorter ascending list).
+func (p *pair) rootLowerBound() int {
+	lb := weightedPsi(p.psiDense(p.srcNodeLab, p.tgtNodeLab, p.numNodeLab),
+		p.src.n-p.tgt.n, p.w.Node, p.w.minNodeMismatch())
+	lb += weightedPsi(p.psiDense(p.srcEdgeLab, p.tgtEdgeLab, p.numEdgeLab),
+		p.src.m-p.tgt.m, p.w.Edge, p.w.minEdgeMismatch())
+	lb += p.cardBound() * p.w.Incidence
+	return lb
+}
+
+// psiDense computes Ψ(a, b) = max(|a|, |b|) − |a ∩ b| for label multisets
+// given as dense pair-dictionary ids in [0, numLab).
+func (p *pair) psiDense(a, b []int, numLab int) int {
+	cnt := growInt32s(p.psiCnt, numLab)
+	p.psiCnt = cnt
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, id := range a {
+		cnt[id]++
+	}
+	inter := 0
+	for _, id := range b {
+		if cnt[id] > 0 {
+			cnt[id]--
+			inter++
+		}
+	}
+	m := len(a)
+	if len(b) > m {
+		m = len(b)
+	}
+	return m - inter
+}
+
+// cardBound is multiset.CardinalityBound(src.cards, tgt.cards) on retained
+// sorted scratch copies.
+func (p *pair) cardBound() int {
+	a := growInts(p.cardScratchA, len(p.src.cards))
+	b := growInts(p.cardScratchB, len(p.tgt.cards))
+	p.cardScratchA, p.cardScratchB = a, b
+	copy(a, p.src.cards)
+	copy(b, p.tgt.cards)
+	sort.Ints(a)
+	sort.Ints(b)
+	return sortedL1(a, b)
 }
 
 // weightedPsi prices a Ψ value: diff entities at the insert/delete weight,

@@ -81,17 +81,25 @@ type graphData struct {
 	memberBits []uint64
 	bitWords   int
 	degrees    []int
+	// csr is the frozen view this compilation was built from; init reuses
+	// its interned label dictionary for the pair-union densify.
+	csr *hypergraph.CSR
 }
 
 // reset recompiles g into d, reusing d's buffers when they have capacity.
+// The flat slices are filled straight from g's frozen CSR view — offset
+// ranges and interned-label arrays — so compilation is sequential copies.
 func (d *graphData) reset(g *hypergraph.Hypergraph) {
-	n, m := g.NumNodes(), g.NumEdges()
+	c := g.Freeze()
+	n, m := c.NumNodes(), c.NumEdges()
 	d.n, d.m = n, m
+	d.csr = c
+	labels := c.Labels()
 	d.nodeLabels = growLabels(d.nodeLabels, n)
 	d.degrees = growInts(d.degrees, n)
-	for v := 0; v < n; v++ {
-		d.nodeLabels[v] = g.NodeLabel(hypergraph.NodeID(v))
-		d.degrees[v] = g.Degree(hypergraph.NodeID(v))
+	for v, id := range c.NodeLabelIDs() {
+		d.nodeLabels[v] = labels[id]
+		d.degrees[v] = c.Degree(hypergraph.NodeID(v))
 	}
 	d.edgeLabels = growLabels(d.edgeLabels, m)
 	d.edgeNodes = growIntSlices(d.edgeNodes, m)
@@ -101,20 +109,16 @@ func (d *graphData) reset(g *hypergraph.Hypergraph) {
 	for i := range d.memberBits {
 		d.memberBits[i] = 0
 	}
-	incid := 0
-	for e := 0; e < m; e++ {
-		incid += g.Edge(hypergraph.EdgeID(e)).Arity()
-	}
-	d.nodeArena = growInts(d.nodeArena, incid)
+	d.nodeArena = growInts(d.nodeArena, c.Incidences())
 	next := 0
 	for e := 0; e < m; e++ {
-		edge := g.Edge(hypergraph.EdgeID(e))
-		d.edgeLabels[e] = edge.Label
-		d.cards[e] = edge.Arity()
-		nodes := d.nodeArena[next : next+edge.Arity()]
-		next += edge.Arity()
+		members := c.Members(hypergraph.EdgeID(e))
+		d.edgeLabels[e] = labels[c.EdgeLabelID(hypergraph.EdgeID(e))]
+		d.cards[e] = len(members)
+		nodes := d.nodeArena[next : next+len(members)]
+		next += len(members)
 		bits := d.memberBits[e*d.bitWords : (e+1)*d.bitWords]
-		for i, v := range edge.Nodes {
+		for i, v := range members {
 			nodes[i] = int(v)
 			bits[int(v)/64] |= 1 << (uint(v) % 64)
 		}
@@ -196,6 +200,12 @@ type pair struct {
 	numNodeLab, numEdgeLab int
 	// Retained label dictionaries (cleared, not reallocated, per init).
 	nodeDict, edgeDict map[hypergraph.Label]int
+	// labTrans is scratch translating one graph's interned label ids into
+	// pair-dictionary ids (-1 = not yet translated this pass).
+	labTrans []int
+	// Root lower-bound scratch (see bounds.go rootLowerBound).
+	psiCnt                     []int32
+	cardScratchA, cardScratchB []int
 	// Memoized EDC-INAC target-edge index (see edc.go): built at most once
 	// per initialized pair, shared by every complete mapping evaluated.
 	tgtIndex      edgeSetIndex
@@ -232,24 +242,40 @@ func (p *pair) init(g, h *hypergraph.Hypergraph, w CostModel) {
 		clear(p.nodeDict)
 		clear(p.edgeDict)
 	}
-	p.srcNodeLab = densify(p.srcNodeLab, p.src.nodeLabels, p.nodeDict)
-	p.tgtNodeLab = densify(p.tgtNodeLab, p.tgt.nodeLabels, p.nodeDict)
+	cs, ct := p.src.csr, p.tgt.csr
+	p.srcNodeLab = p.densify(p.srcNodeLab, cs.NodeLabelIDs(), cs.Labels(), p.nodeDict)
+	p.tgtNodeLab = p.densify(p.tgtNodeLab, ct.NodeLabelIDs(), ct.Labels(), p.nodeDict)
 	p.numNodeLab = len(p.nodeDict)
-	p.srcEdgeLab = densify(p.srcEdgeLab, p.src.edgeLabels, p.edgeDict)
-	p.tgtEdgeLab = densify(p.tgtEdgeLab, p.tgt.edgeLabels, p.edgeDict)
+	p.srcEdgeLab = p.densify(p.srcEdgeLab, cs.EdgeLabelIDs(), cs.Labels(), p.edgeDict)
+	p.tgtEdgeLab = p.densify(p.tgtEdgeLab, ct.EdgeLabelIDs(), ct.Labels(), p.edgeDict)
 	p.numEdgeLab = len(p.edgeDict)
 	p.tgtIndexBuilt = false
 }
 
-func densify(out []int, labels []hypergraph.Label, dict map[hypergraph.Label]int) []int {
-	out = growInts(out, len(labels))
-	for i, l := range labels {
-		idx, ok := dict[l]
-		if !ok {
-			idx = len(dict)
-			dict[l] = idx
+// densify translates one graph's interned label ids (indices into dict, its
+// frozen CSR dictionary) into the pair-union dense ids, inserting unseen
+// labels in first-occurrence order — exactly the order the historical
+// label-by-label map walk produced, which solver determinism relies on.
+// Each distinct label probes the pair dictionary once; repeats hit the
+// translation scratch array.
+func (p *pair) densify(out []int, ids []int32, dict []hypergraph.Label, pairDict map[hypergraph.Label]int) []int {
+	out = growInts(out, len(ids))
+	p.labTrans = growInts(p.labTrans, len(dict))
+	for i := range p.labTrans {
+		p.labTrans[i] = -1
+	}
+	for i, id := range ids {
+		t := p.labTrans[id]
+		if t < 0 {
+			var ok bool
+			t, ok = pairDict[dict[id]]
+			if !ok {
+				t = len(pairDict)
+				pairDict[dict[id]] = t
+			}
+			p.labTrans[id] = t
 		}
-		out[i] = idx
+		out[i] = t
 	}
 	return out
 }

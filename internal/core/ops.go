@@ -19,7 +19,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"hged/internal/hypergraph"
 )
@@ -164,15 +163,20 @@ func (p *Path) Apply(g *hypergraph.Hypergraph) (*hypergraph.Hypergraph, error) {
 	}
 	edgeAlive := make([]bool, maxEdge)
 	edgeLabel := make([]hypergraph.Label, maxEdge)
-	members := make([]map[int]struct{}, maxEdge)
+	// Member sets are bitsets over the node slots, with a cardinality side
+	// array (popcounting on every delete check would be wasteful). A nil
+	// bitset marks a slot no insertion has materialized yet.
+	members := make([]hypergraph.Bitset, maxEdge)
+	cards := make([]int, maxEdge)
 	for e := 0; e < m; e++ {
 		edgeAlive[e] = true
 		edge := g.Edge(hypergraph.EdgeID(e))
 		edgeLabel[e] = edge.Label
-		members[e] = make(map[int]struct{}, edge.Arity())
+		members[e] = hypergraph.NewBitset(maxNode)
 		for _, v := range edge.Nodes {
-			members[e][int(v)] = struct{}{}
+			members[e].Add(int(v))
 		}
+		cards[e] = edge.Arity()
 	}
 
 	for i, op := range p.Ops {
@@ -188,10 +192,7 @@ func (p *Path) Apply(g *hypergraph.Hypergraph) (*hypergraph.Hypergraph, error) {
 				return nil, fmt.Errorf("core: op %d deletes absent node %d", i, op.Node)
 			}
 			for e, ms := range members {
-				if ms == nil {
-					continue
-				}
-				if _, ok := ms[op.Node]; ok && edgeAlive[e] {
+				if ms != nil && edgeAlive[e] && ms.Has(op.Node) {
 					return nil, fmt.Errorf("core: op %d deletes node %d still in hyperedge %d", i, op.Node, e)
 				}
 			}
@@ -207,23 +208,25 @@ func (p *Path) Apply(g *hypergraph.Hypergraph) (*hypergraph.Hypergraph, error) {
 			}
 			edgeAlive[op.Edge] = true
 			edgeLabel[op.Edge] = op.Label
-			members[op.Edge] = make(map[int]struct{})
+			members[op.Edge] = hypergraph.NewBitset(maxNode)
+			cards[op.Edge] = 0
 		case OpEdgeDelete:
 			if !edgeAlive[op.Edge] {
 				return nil, fmt.Errorf("core: op %d deletes absent hyperedge %d", i, op.Edge)
 			}
-			if len(members[op.Edge]) != 0 {
-				return nil, fmt.Errorf("core: op %d deletes non-empty hyperedge %d (cardinality %d)", i, op.Edge, len(members[op.Edge]))
+			if cards[op.Edge] != 0 {
+				return nil, fmt.Errorf("core: op %d deletes non-empty hyperedge %d (cardinality %d)", i, op.Edge, cards[op.Edge])
 			}
 			edgeAlive[op.Edge] = false
 		case OpEdgeReduce:
 			if !edgeAlive[op.Edge] {
 				return nil, fmt.Errorf("core: op %d reduces absent hyperedge %d", i, op.Edge)
 			}
-			if _, ok := members[op.Edge][op.Node]; !ok {
+			if !members[op.Edge].Has(op.Node) {
 				return nil, fmt.Errorf("core: op %d reduces hyperedge %d by non-member node %d", i, op.Edge, op.Node)
 			}
-			delete(members[op.Edge], op.Node)
+			members[op.Edge].Remove(op.Node)
+			cards[op.Edge]--
 		case OpEdgeExtend:
 			if !edgeAlive[op.Edge] {
 				return nil, fmt.Errorf("core: op %d extends absent hyperedge %d", i, op.Edge)
@@ -231,10 +234,11 @@ func (p *Path) Apply(g *hypergraph.Hypergraph) (*hypergraph.Hypergraph, error) {
 			if !nodeAlive[op.Node] {
 				return nil, fmt.Errorf("core: op %d extends hyperedge %d with absent node %d", i, op.Edge, op.Node)
 			}
-			if _, ok := members[op.Edge][op.Node]; ok {
+			if members[op.Edge].Has(op.Node) {
 				return nil, fmt.Errorf("core: op %d extends hyperedge %d with duplicate node %d", i, op.Edge, op.Node)
 			}
-			members[op.Edge][op.Node] = struct{}{}
+			members[op.Edge].Add(op.Node)
+			cards[op.Edge]++
 		case OpEdgeRelabel:
 			if !edgeAlive[op.Edge] {
 				return nil, fmt.Errorf("core: op %d relabels absent hyperedge %d", i, op.Edge)
@@ -260,19 +264,21 @@ func (p *Path) Apply(g *hypergraph.Hypergraph) (*hypergraph.Hypergraph, error) {
 		if !edgeAlive[e] {
 			continue
 		}
-		// Materialize members in sorted original-id order so the rebuilt
-		// hypergraph is identical run to run (map iteration order is not).
-		ids := make([]int, 0, len(members[e]))
-		for v := range members[e] {
-			ids = append(ids, v)
-		}
-		sort.Ints(ids)
-		nodes := make([]hypergraph.NodeID, 0, len(ids))
-		for _, v := range ids {
+		// Bitset iteration is ascending by original id, so the rebuilt
+		// hypergraph is identical run to run with no sort.
+		nodes := make([]hypergraph.NodeID, 0, cards[e])
+		missing := -1
+		members[e].ForEach(func(v int) {
 			if remap[v] < 0 {
-				return nil, fmt.Errorf("core: hyperedge %d references deleted node %d", e, v)
+				if missing < 0 {
+					missing = v
+				}
+				return
 			}
 			nodes = append(nodes, remap[v])
+		})
+		if missing >= 0 {
+			return nil, fmt.Errorf("core: hyperedge %d references deleted node %d", e, missing)
 		}
 		out.AddEdge(edgeLabel[e], nodes...)
 	}

@@ -1,0 +1,234 @@
+package hgio
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hged/internal/hypergraph"
+)
+
+// Binary hypergraph layout (.hgb, all integers little-endian). The payload
+// is the graph's frozen CSR view: the interned label dictionary is written
+// once and every entity carries a dense dictionary id, so label-heavy
+// graphs cost 4 bytes per entity regardless of label values, and a reader
+// rebuilds without re-deriving the dictionary.
+//
+//	offset  size    field
+//	0       8       magic "HGEDGRF1"
+//	8       4       format version (uint32, currently 1)
+//	12      4       n — node count (uint32)
+//	16      4       m — hyperedge count (uint32)
+//	20      4       L — label dictionary size (uint32)
+//	24      4       incid — Σ|E|, total membership count (uint32)
+//	28      4L      label dictionary (L × int32, dense id order)
+//	...     4n      node label ids (n × uint32, each < L)
+//	...     4m      hyperedge label ids (m × uint32, each < L)
+//	...     4(m+1)  hyperedge member offsets (uint32, non-decreasing,
+//	                first 0, last incid)
+//	...     4·incid concatenated member node ids (uint32, each < n,
+//	                strictly ascending within an edge)
+//	...     4       CRC-32 (IEEE) of everything above (uint32)
+//
+// The trailing checksum makes torn writes and bit rot loud: ReadBinary
+// either returns a fully validated hypergraph or an error, never a
+// partial graph.
+const (
+	binaryGraphMagic   = "HGEDGRF1"
+	binaryGraphVersion = uint32(1)
+)
+
+// WriteBinary serializes g in the .hgb binary format from its frozen CSR
+// view.
+func WriteBinary(w io.Writer, g *hypergraph.Hypergraph) error {
+	c := g.Freeze()
+	n, m, incid := c.NumNodes(), c.NumEdges(), c.Incidences()
+	if n > MaxNodes || m > MaxNodes {
+		return fmt.Errorf("hgio: graph too large to serialize (n=%d m=%d, max %d)", n, m, MaxNodes)
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(w)
+	out := io.MultiWriter(bw, crc)
+	if _, err := io.WriteString(out, binaryGraphMagic); err != nil {
+		return fmt.Errorf("hgio: %w", err)
+	}
+	if err := writeU32s(out, binaryGraphVersion, uint32(n), uint32(m), uint32(c.NumLabels()), uint32(incid)); err != nil {
+		return err
+	}
+	for _, l := range c.Labels() {
+		if err := writeU32s(out, uint32(int32(l))); err != nil {
+			return err
+		}
+	}
+	for _, id := range c.NodeLabelIDs() {
+		if err := writeU32s(out, uint32(id)); err != nil {
+			return err
+		}
+	}
+	for _, id := range c.EdgeLabelIDs() {
+		if err := writeU32s(out, uint32(id)); err != nil {
+			return err
+		}
+	}
+	off := uint32(0)
+	if err := writeU32s(out, off); err != nil {
+		return err
+	}
+	for e := 0; e < m; e++ {
+		off += uint32(c.Arity(hypergraph.EdgeID(e)))
+		if err := writeU32s(out, off); err != nil {
+			return err
+		}
+	}
+	for e := 0; e < m; e++ {
+		for _, v := range c.Members(hypergraph.EdgeID(e)) {
+			if err := writeU32s(out, uint32(v)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeU32s(bw, crc.Sum32()); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("hgio: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary parses the .hgb format written by WriteBinary. Every header
+// count, label id, offset, and member id is validated — and the checksum
+// verified — before any hypergraph is constructed.
+func ReadBinary(r io.Reader) (*hypergraph.Hypergraph, error) {
+	crc := crc32.NewIEEE()
+	cr := &checksumReader{r: bufio.NewReader(r), h: crc}
+	magic := make([]byte, len(binaryGraphMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("hgio: binary graph header: %w", err)
+	}
+	if string(magic) != binaryGraphMagic {
+		return nil, fmt.Errorf("hgio: not a binary hypergraph (bad magic %q)", magic)
+	}
+	var version, un, um, ul, uincid uint32
+	if err := readU32s(cr, &version, &un, &um, &ul, &uincid); err != nil {
+		return nil, err
+	}
+	if version != binaryGraphVersion {
+		return nil, fmt.Errorf("hgio: unsupported binary graph version %d (want %d)", version, binaryGraphVersion)
+	}
+	if un > MaxNodes || um > MaxNodes || uincid > MaxNodes*8 {
+		return nil, fmt.Errorf("hgio: implausible binary graph counts n=%d m=%d incid=%d (max %d nodes)", un, um, uincid, MaxNodes)
+	}
+	if ul > un+um {
+		return nil, fmt.Errorf("hgio: label dictionary size %d exceeds entity count %d", ul, un+um)
+	}
+	n, m, nlab, incid := int(un), int(um), int(ul), int(uincid)
+	dict := make([]hypergraph.Label, nlab)
+	for i := range dict {
+		var v uint32
+		if err := readU32s(cr, &v); err != nil {
+			return nil, err
+		}
+		dict[i] = hypergraph.Label(int32(v))
+	}
+	readIDs := func(count int, kind string) ([]uint32, error) {
+		ids := make([]uint32, count)
+		for i := range ids {
+			if err := readU32s(cr, &ids[i]); err != nil {
+				return nil, err
+			}
+			if int(ids[i]) >= nlab {
+				return nil, fmt.Errorf("hgio: %s %d has label id %d, dictionary has %d entries", kind, i, ids[i], nlab)
+			}
+		}
+		return ids, nil
+	}
+	nodeLab, err := readIDs(n, "node")
+	if err != nil {
+		return nil, err
+	}
+	edgeLab, err := readIDs(m, "hyperedge")
+	if err != nil {
+		return nil, err
+	}
+	offs := make([]uint32, m+1)
+	for i := range offs {
+		if err := readU32s(cr, &offs[i]); err != nil {
+			return nil, err
+		}
+	}
+	if offs[0] != 0 || offs[m] != uint32(incid) {
+		return nil, fmt.Errorf("hgio: hyperedge offsets span [%d,%d], want [0,%d]", offs[0], offs[m], incid)
+	}
+	members := make([]uint32, incid)
+	for e := 0; e < m; e++ {
+		if offs[e+1] < offs[e] {
+			return nil, fmt.Errorf("hgio: hyperedge %d has negative extent (%d..%d)", e, offs[e], offs[e+1])
+		}
+		for i := offs[e]; i < offs[e+1]; i++ {
+			if err := readU32s(cr, &members[i]); err != nil {
+				return nil, err
+			}
+			if int(members[i]) >= n {
+				return nil, fmt.Errorf("hgio: hyperedge %d member %d out of range [0,%d)", e, members[i], n)
+			}
+			if i > offs[e] && members[i] <= members[i-1] {
+				return nil, fmt.Errorf("hgio: hyperedge %d members not strictly ascending", e)
+			}
+		}
+	}
+	sum := crc.Sum32() // the trailer itself is not part of the checksum
+	var stored uint32
+	if err := readU32s(cr, &stored); err != nil {
+		return nil, err
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("hgio: binary graph checksum mismatch (stored %08x, computed %08x): corrupt or torn write", stored, sum)
+	}
+	if extra, _ := io.CopyN(io.Discard, cr, 1); extra != 0 {
+		return nil, fmt.Errorf("hgio: trailing data after binary graph")
+	}
+	labels := make([]hypergraph.Label, n)
+	for v := range labels {
+		labels[v] = dict[nodeLab[v]]
+	}
+	g := hypergraph.NewLabeled(labels)
+	nodes := make([]hypergraph.NodeID, 0, 16)
+	for e := 0; e < m; e++ {
+		nodes = nodes[:0]
+		for i := offs[e]; i < offs[e+1]; i++ {
+			nodes = append(nodes, hypergraph.NodeID(members[i]))
+		}
+		g.AddEdge(dict[edgeLab[e]], nodes...)
+	}
+	return g, nil
+}
+
+// WriteBinaryFile atomically writes g to path in the .hgb format (temp
+// file, fsync, rename — a crash mid-write never leaves a torn file).
+func WriteBinaryFile(path string, g *hypergraph.Hypergraph) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("hgio: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteBinary(tmp, g); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("hgio: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("hgio: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("hgio: %w", err)
+	}
+	return nil
+}

@@ -17,7 +17,8 @@ import (
 )
 
 // ReadFile reads a hypergraph from path, selecting the codec by extension:
-// ".hg" is the text format, ".json" the JSON encoding.
+// ".hg" is the text format, ".json" the JSON encoding, ".hgb" the
+// checksummed binary CSR encoding.
 func ReadFile(path string) (*hypergraph.Hypergraph, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -29,8 +30,10 @@ func ReadFile(path string) (*hypergraph.Hypergraph, error) {
 		return ReadText(f)
 	case ".json":
 		return ReadJSON(f)
+	case ".hgb":
+		return ReadBinary(f)
 	default:
-		return nil, fmt.Errorf("hgio: %s: unknown graph extension (want .hg or .json)", path)
+		return nil, fmt.Errorf("hgio: %s: unknown graph extension (want .hg, .json, or .hgb)", path)
 	}
 }
 

@@ -227,7 +227,7 @@ func readU32s(r io.Reader, vs ...*uint32) error {
 	var buf [4]byte
 	for _, v := range vs {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return fmt.Errorf("hgio: pivot snapshot truncated: %w", err)
+			return fmt.Errorf("hgio: truncated input: %w", err)
 		}
 		*v = binary.LittleEndian.Uint32(buf[:])
 	}

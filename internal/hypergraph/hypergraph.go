@@ -57,11 +57,18 @@ func (e Hyperedge) clone() Hyperedge {
 // Key returns a canonical string key for the node set (ignoring the label),
 // usable as a map key for deduplication.
 func (e Hyperedge) Key() string {
-	b := make([]byte, 0, len(e.Nodes)*4)
+	return string(e.AppendKey(make([]byte, 0, len(e.Nodes)*4)))
+}
+
+// AppendKey appends the canonical node-set key to b and returns the
+// extended slice. Dedup loops pass a reused scratch buffer and probe their
+// map with string(b) directly, so the per-call string allocation of Key is
+// paid only when a key is actually inserted.
+func (e Hyperedge) AppendKey(b []byte) []byte {
 	for _, v := range e.Nodes {
 		b = appendVarint(b, uint32(v))
 	}
-	return string(b)
+	return b
 }
 
 func appendVarint(b []byte, x uint32) []byte {
@@ -83,10 +90,12 @@ type Hypergraph struct {
 	// origIDs, when non-nil, maps local NodeIDs back to the node IDs of a
 	// host graph this hypergraph was induced from. See InducedSubgraph.
 	origIDs []NodeID
-	// egoCache memoizes Ego extractions (see Ego). It is invalidated by
-	// every mutation and never copied by Clone.
+	// egoMu guards the derived read-only views below: the memoized ego
+	// networks and the frozen CSR layout. Both are invalidated by every
+	// mutation and never copied by Clone.
 	egoMu    sync.RWMutex
 	egoCache map[NodeID]*Hypergraph
+	csr      *CSR
 }
 
 // New returns an empty hypergraph with n unlabeled nodes.
@@ -113,7 +122,7 @@ func (h *Hypergraph) NumEdges() int { return len(h.edges) }
 
 // AddNode appends a node with the given label and returns its id.
 func (h *Hypergraph) AddNode(l Label) NodeID {
-	h.invalidateEgoCache()
+	h.invalidateDerived()
 	h.nodeLabels = append(h.nodeLabels, l)
 	h.incidence = append(h.incidence, nil)
 	return NodeID(len(h.nodeLabels) - 1)
@@ -134,7 +143,7 @@ func (h *Hypergraph) AddNodes(n int) NodeID {
 // hyperedges of cardinality 0). AddEdge panics if any node id is out of
 // range.
 func (h *Hypergraph) AddEdge(l Label, nodes ...NodeID) EdgeID {
-	h.invalidateEgoCache()
+	h.invalidateDerived()
 	ns := make([]NodeID, len(nodes))
 	copy(ns, nodes)
 	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
@@ -171,7 +180,7 @@ func (h *Hypergraph) NodeLabel(v NodeID) Label { return h.nodeLabels[v] }
 
 // SetNodeLabel sets l(v).
 func (h *Hypergraph) SetNodeLabel(v NodeID, l Label) {
-	h.invalidateEgoCache()
+	h.invalidateDerived()
 	h.nodeLabels[v] = l
 }
 
@@ -180,7 +189,7 @@ func (h *Hypergraph) EdgeLabel(e EdgeID) Label { return h.edges[e].Label }
 
 // SetEdgeLabel sets l(E).
 func (h *Hypergraph) SetEdgeLabel(e EdgeID, l Label) {
-	h.invalidateEgoCache()
+	h.invalidateDerived()
 	h.edges[e].Label = l
 }
 
@@ -202,30 +211,19 @@ func (h *Hypergraph) Degree(v NodeID) int { return len(h.incidence[v]) }
 
 // Neighbors returns NEI(v) = {v} ∪ {u : ∃E, {u,v} ⊆ E}, sorted ascending.
 // Per Definition 1 of the paper, the set always includes v itself.
+// Membership is tracked in a bitset, so the output is ascending by
+// construction — no per-call map or sort.
 func (h *Hypergraph) Neighbors(v NodeID) []NodeID {
-	seen := map[NodeID]struct{}{v: {}}
-	for _, e := range h.incidence[v] {
-		for _, u := range h.edges[e].Nodes {
-			seen[u] = struct{}{}
-		}
-	}
-	out := make([]NodeID, 0, len(seen))
-	for u := range seen {
-		out = append(out, u)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	seen := NewBitset(h.NumNodes())
+	count := h.neighborScan(v, seen)
+	out := make([]NodeID, 0, count)
+	seen.ForEach(func(u int) { out = append(out, NodeID(u)) })
 	return out
 }
 
 // NumNeighbors returns |NEI(v)| without materializing the sorted slice.
 func (h *Hypergraph) NumNeighbors(v NodeID) int {
-	seen := map[NodeID]struct{}{v: {}}
-	for _, e := range h.incidence[v] {
-		for _, u := range h.edges[e].Nodes {
-			seen[u] = struct{}{}
-		}
-	}
-	return len(seen)
+	return h.neighborScan(v, NewBitset(h.NumNodes()))
 }
 
 // OrigID maps a node of an induced sub-hypergraph back to the node id it had
@@ -261,34 +259,27 @@ func (h *Hypergraph) InducedSubgraph(s []NodeID) *Hypergraph {
 	}
 
 	// Collect candidate hyperedges once via incidence lists so the cost is
-	// proportional to the edges touching S, not |E|.
-	seen := make(map[EdgeID]struct{})
-	var cand []EdgeID
+	// proportional to the edges touching S, not |E|; the bitset yields them
+	// in ascending id order without a sort.
+	seen := NewBitset(h.NumEdges())
 	for _, v := range sorted {
 		for _, e := range h.incidence[v] {
-			if _, ok := seen[e]; !ok {
-				seen[e] = struct{}{}
-				cand = append(cand, e)
-			}
+			seen.Add(int(e))
 		}
 	}
-	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
-	for _, e := range cand {
-		edge := h.edges[e]
-		inside := true
-		mapped := make([]NodeID, 0, len(edge.Nodes))
+	mapped := make([]NodeID, 0, 16)
+	seen.ForEach(func(ei int) {
+		edge := h.edges[ei]
+		mapped = mapped[:0]
 		for _, u := range edge.Nodes {
 			nu, ok := remap[u]
 			if !ok {
-				inside = false
-				break
+				return
 			}
 			mapped = append(mapped, nu)
 		}
-		if inside {
-			sub.AddEdge(edge.Label, mapped...)
-		}
-	}
+		sub.AddEdge(edge.Label, mapped...)
+	})
 	return sub
 }
 
@@ -330,11 +321,14 @@ func (h *Hypergraph) Ego(v NodeID) *Hypergraph {
 	return ego
 }
 
-func (h *Hypergraph) invalidateEgoCache() {
+// invalidateDerived discards the derived read-only views — memoized egos
+// and the frozen CSR — on any mutation; both rebuild lazily on next use.
+func (h *Hypergraph) invalidateDerived() {
 	h.egoMu.Lock()
 	if len(h.egoCache) > 0 {
 		clear(h.egoCache)
 	}
+	h.csr = nil
 	h.egoMu.Unlock()
 }
 

@@ -125,15 +125,22 @@ func cardinalities(g *Hypergraph) []int {
 }
 
 // edgesMatch verifies that under the complete node mapping, the labeled
-// hyperedge multisets of g and h coincide.
+// hyperedge multisets of g and h coincide. Keys are label-prefixed node-set
+// encodings built in one reused scratch buffer (Hyperedge.AppendKey); the
+// probe side looks up with string(kbuf) directly and decrements a slot in a
+// side table, so only the reference side pays for key strings.
 func edgesMatch(g, h *Hypergraph, mapping []NodeID) bool {
-	type edgeKey struct {
-		label Label
-		key   string
-	}
-	want := make(map[edgeKey]int, h.NumEdges())
+	slots := make(map[string]int, h.NumEdges())
+	counts := make([]int, 0, h.NumEdges())
+	kbuf := make([]byte, 0, 64)
 	for _, e := range h.edges {
-		want[edgeKey{e.Label, e.Key()}]++
+		kbuf = e.AppendKey(appendVarint(kbuf[:0], uint32(e.Label)))
+		if slot, ok := slots[string(kbuf)]; ok {
+			counts[slot]++
+		} else {
+			slots[string(kbuf)] = len(counts)
+			counts = append(counts, 1)
+		}
 	}
 	buf := make([]NodeID, 0, 16)
 	for _, e := range g.edges {
@@ -142,11 +149,12 @@ func edgesMatch(g, h *Hypergraph, mapping []NodeID) bool {
 			buf = append(buf, mapping[v])
 		}
 		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
-		k := edgeKey{e.Label, Hyperedge{Nodes: buf}.Key()}
-		if want[k] == 0 {
+		kbuf = Hyperedge{Nodes: buf}.AppendKey(appendVarint(kbuf[:0], uint32(e.Label)))
+		slot, ok := slots[string(kbuf)]
+		if !ok || counts[slot] == 0 {
 			return false
 		}
-		want[k]--
+		counts[slot]--
 	}
 	return true
 }

@@ -19,15 +19,17 @@ type Stats struct {
 	Incidences     int // total Σ|E|, bipartite edge count
 }
 
-// Summarize computes Stats for h.
+// Summarize computes Stats for h. It reads the frozen CSR view: distinct
+// label counts are popcounts over bitsets of interned label ids, degrees
+// and cardinalities are offset differences.
 func Summarize(h *Hypergraph) Stats {
-	s := Stats{Nodes: h.NumNodes(), Edges: h.NumEdges()}
-	sizes := make([]int, 0, h.NumEdges())
-	elabels := make(map[Label]struct{})
-	for _, e := range h.edges {
-		sizes = append(sizes, len(e.Nodes))
-		s.Incidences += len(e.Nodes)
-		elabels[e.Label] = struct{}{}
+	c := h.Freeze()
+	s := Stats{Nodes: c.NumNodes(), Edges: c.NumEdges(), Incidences: c.Incidences()}
+	sizes := make([]int, 0, c.NumEdges())
+	elabels := NewBitset(c.NumLabels())
+	for e := 0; e < c.NumEdges(); e++ {
+		sizes = append(sizes, c.Arity(EdgeID(e)))
+		elabels.Add(int(c.EdgeLabelID(EdgeID(e))))
 	}
 	if len(sizes) > 0 {
 		sort.Ints(sizes)
@@ -35,18 +37,18 @@ func Summarize(h *Hypergraph) Stats {
 		s.MaxEdgeSize = sizes[len(sizes)-1]
 		s.MeanEdgeSize = float64(s.Incidences) / float64(len(sizes))
 	}
-	nlabels := make(map[Label]struct{})
+	nlabels := NewBitset(c.NumLabels())
 	totalDeg := 0
-	for v := range h.nodeLabels {
-		nlabels[h.nodeLabels[v]] = struct{}{}
-		d := h.Degree(NodeID(v))
+	for v := 0; v < c.NumNodes(); v++ {
+		nlabels.Add(int(c.NodeLabelID(NodeID(v))))
+		d := c.Degree(NodeID(v))
 		totalDeg += d
 		if d > s.MaxDegree {
 			s.MaxDegree = d
 		}
 	}
-	s.NodeLabels = len(nlabels)
-	s.EdgeLabels = len(elabels)
+	s.NodeLabels = nlabels.Count()
+	s.EdgeLabels = elabels.Count()
 	if s.Nodes > 0 {
 		s.MeanDegree = float64(totalDeg) / float64(s.Nodes)
 	}
@@ -83,24 +85,25 @@ func EdgeSizeHistogram(h *Hypergraph) map[int]int {
 // (two nodes are connected when they share a hyperedge), each sorted
 // ascending, ordered by their smallest member.
 func ConnectedComponents(h *Hypergraph) [][]NodeID {
-	n := h.NumNodes()
-	visited := make([]bool, n)
+	c := h.Freeze()
+	n := c.NumNodes()
+	visited := NewBitset(n)
 	var comps [][]NodeID
 	queue := make([]NodeID, 0, 64)
 	for start := 0; start < n; start++ {
-		if visited[start] {
+		if visited.Has(start) {
 			continue
 		}
-		visited[start] = true
+		visited.Add(start)
 		queue = append(queue[:0], NodeID(start))
 		comp := []NodeID{NodeID(start)}
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, e := range h.incidence[v] {
-				for _, u := range h.edges[e].Nodes {
-					if !visited[u] {
-						visited[u] = true
+			for _, e := range c.IncidentEdges(v) {
+				for _, u := range c.Members(e) {
+					if !visited.Has(int(u)) {
+						visited.Add(int(u))
 						comp = append(comp, u)
 						queue = append(queue, u)
 					}
@@ -117,7 +120,8 @@ func ConnectedComponents(h *Hypergraph) [][]NodeID {
 // relation and returns a distance slice (-1 for unreachable nodes). It stops
 // expanding beyond maxHops when maxHops >= 0.
 func HopDistances(h *Hypergraph, src NodeID, maxHops int) []int {
-	dist := make([]int, h.NumNodes())
+	c := h.Freeze()
+	dist := make([]int, c.NumNodes())
 	for i := range dist {
 		dist[i] = -1
 	}
@@ -129,8 +133,8 @@ func HopDistances(h *Hypergraph, src NodeID, maxHops int) []int {
 		if maxHops >= 0 && dist[v] >= maxHops {
 			continue
 		}
-		for _, e := range h.incidence[v] {
-			for _, u := range h.edges[e].Nodes {
+		for _, e := range c.IncidentEdges(v) {
+			for _, u := range c.Members(e) {
 				if dist[u] < 0 {
 					dist[u] = dist[v] + 1
 					queue = append(queue, u)

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotmap flags map[...]struct{} set construction in the hot-path packages.
+// The CSR refactor replaced per-call map churn on neighbor scans, ego
+// extraction, filter evaluation, and edit-path replay with
+// hypergraph.Bitset: membership is one word op, iteration is ascending by
+// construction (no collect-and-sort), and clearing is a memclr. A map-based
+// set reintroduced on those paths silently costs an allocation plus hashing
+// per element and a nondeterministic iteration order.
+//
+// Sets keyed by something that is not a small dense integer id (labels,
+// strings, composite keys) genuinely need a map; justify those with
+// //hgedvet:ignore hotmap <reason>.
+var Hotmap = &Analyzer{
+	Name: "hotmap",
+	Doc:  "flags map[...]struct{} set-building in hot-path packages; dense id sets should use hypergraph.Bitset",
+	Packages: []string{
+		"hged/internal/hypergraph",
+		"hged/internal/core",
+		"hged/internal/search",
+	},
+	Run: runHotmap,
+}
+
+func runHotmap(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				id, ok := e.Fun.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+					return true
+				}
+				if isSetMap(pass.Info.TypeOf(e)) {
+					report(pass, e)
+				}
+			case *ast.CompositeLit:
+				if isSetMap(pass.Info.TypeOf(e)) {
+					report(pass, e)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func report(pass *Pass, e ast.Expr) {
+	pass.Reportf(e.Pos(), "set built as a map[...]struct{} on a hot path: use hypergraph.Bitset for dense integer ids (word-wise ops, ascending iteration), or add //hgedvet:ignore hotmap <why a map is required>")
+}
+
+// isSetMap reports whether t is a map whose element is the empty struct —
+// the map-as-set idiom.
+func isSetMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	s, ok := m.Elem().Underlying().(*types.Struct)
+	return ok && s.NumFields() == 0
+}

@@ -80,7 +80,7 @@ func checkFixture(t *testing.T, dir, rule string) []lint.Diagnostic {
 // diagnostic and no diagnostic goes unexpected — including that the
 // fixtures' suppression comments silence their sites.
 func TestAnalyzerFixtures(t *testing.T) {
-	for _, rule := range []string{"detrange", "nondet", "poolpair", "ctxpoll"} {
+	for _, rule := range []string{"detrange", "nondet", "poolpair", "ctxpoll", "hotmap"} {
 		t.Run(rule, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", rule)
 			diags := checkFixture(t, dir, rule)
@@ -128,6 +128,7 @@ func TestSuppressionRemoval(t *testing.T) {
 		{"nondet", "//hgedvet:ignore nondet debug-only timing"},
 		{"poolpair", "//hgedvet:ignore poolpair ownership transfers"},
 		{"ctxpoll", "//hgedvet:ignore ctxpoll bounded to 64 iterations"},
+		{"hotmap", "//hgedvet:ignore hotmap string keys have no dense id space"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {

@@ -1,0 +1,55 @@
+// Package hotmap is the hgedvet fixture for the hotmap analyzer: building
+// a set as map[...]struct{} on a hot path must move to a bitset or carry a
+// justified suppression.
+package hotmap
+
+// Flagged: classic map-as-set built with make.
+func dedupe(ids []int) []int {
+	seen := make(map[int]struct{}, len(ids)) // want hotmap "set built as a map"
+	out := ids[:0]
+	for _, id := range ids {
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Flagged: composite-literal set.
+func reserved() map[int]struct{} {
+	return map[int]struct{}{0: {}, 1: {}} // want hotmap "set built as a map"
+}
+
+// Flagged: named set types are still map-as-set underneath.
+type idSet map[int]struct{}
+
+func newIDSet() idSet {
+	return make(idSet) // want hotmap "set built as a map"
+}
+
+// Not flagged: maps with payload values are lookup tables, not sets.
+func index(ids []int) map[int]int {
+	pos := make(map[int]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	return pos
+}
+
+// Not flagged: a slice of empty structs is not a map.
+func padding(n int) []struct{} {
+	return make([]struct{}, n)
+}
+
+// Not flagged: suppressed with a justification — string keys have no dense
+// id space for a bitset.
+func nameSet(names []string) map[string]struct{} {
+	//hgedvet:ignore hotmap string keys have no dense id space
+	set := make(map[string]struct{}, len(names))
+	for _, n := range names {
+		set[n] = struct{}{}
+	}
+	return set
+}

@@ -1,0 +1,102 @@
+package multiset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hged/internal/hypergraph"
+)
+
+// randLabels draws a label slice with many collisions so multiplicities > 1
+// are common.
+func randLabels(rng *rand.Rand, n int) []hypergraph.Label {
+	ls := make([]hypergraph.Label, n)
+	for i := range ls {
+		ls[i] = hypergraph.Label(rng.Intn(6))
+	}
+	return ls
+}
+
+// TestSortedAgainstCounts cross-checks the dense sorted-slice path against
+// the map-based reference on random multisets: sizes, intersections, and Ψ
+// must coincide exactly.
+func TestSortedAgainstCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		a := randLabels(rng, rng.Intn(20))
+		b := randLabels(rng, rng.Intn(20))
+		ca, cb := FromLabels(a), FromLabels(b)
+		sa, sb := SortedFromLabels(a), SortedFromLabels(b)
+
+		if sa.Size() != ca.Size() {
+			t.Fatalf("trial %d: Sorted.Size = %d, Counts.Size = %d", trial, sa.Size(), ca.Size())
+		}
+		if got, want := IntersectionSizeSorted(sa, sb), IntersectionSize(ca, cb); got != want {
+			t.Fatalf("trial %d: IntersectionSizeSorted(%v,%v) = %d, map path = %d", trial, a, b, got, want)
+		}
+		if got, want := PsiSorted(sa, sb), Psi(ca, cb); got != want {
+			t.Fatalf("trial %d: PsiSorted(%v,%v) = %d, map path = %d", trial, a, b, got, want)
+		}
+		if got, want := PsiSortedSized(sa, sb, len(a), len(b)), Psi(ca, cb); got != want {
+			t.Fatalf("trial %d: PsiSortedSized = %d, map path = %d", trial, got, want)
+		}
+		if got, want := PsiLabels(a, b), Psi(ca, cb); got != want {
+			t.Fatalf("trial %d: PsiLabels = %d, map path = %d", trial, got, want)
+		}
+	}
+}
+
+// TestSortedShape asserts the representation invariants: ascending unique
+// labels with positive parallel counts.
+func TestSortedShape(t *testing.T) {
+	s := SortedFromLabels([]hypergraph.Label{5, 1, 5, 3, 1, 1})
+	wantLabels := []hypergraph.Label{1, 3, 5}
+	wantCounts := []int32{3, 1, 2}
+	if len(s.Labels) != len(wantLabels) || len(s.Counts) != len(wantCounts) {
+		t.Fatalf("got %v/%v, want %v/%v", s.Labels, s.Counts, wantLabels, wantCounts)
+	}
+	for i := range wantLabels {
+		if s.Labels[i] != wantLabels[i] || s.Counts[i] != wantCounts[i] {
+			t.Fatalf("got %v/%v, want %v/%v", s.Labels, s.Counts, wantLabels, wantCounts)
+		}
+	}
+	empty := SortedFromLabels(nil)
+	if len(empty.Labels) != 0 || empty.Size() != 0 {
+		t.Fatalf("empty multiset is %v, size %d", empty.Labels, empty.Size())
+	}
+}
+
+// TestCardinalityBoundSorted cross-checks the allocation-free sorted walk
+// against the padding-and-sorting reference.
+func TestCardinalityBoundSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		a := make([]int, rng.Intn(12))
+		b := make([]int, rng.Intn(12))
+		for i := range a {
+			a[i] = rng.Intn(8)
+		}
+		for i := range b {
+			b[i] = rng.Intn(8)
+		}
+		want := CardinalityBound(a, b)
+
+		as := make([]int32, len(a))
+		bs := make([]int32, len(b))
+		for i, v := range a {
+			as[i] = int32(v)
+		}
+		for i, v := range b {
+			bs[i] = int32(v)
+		}
+		sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		if got := CardinalityBoundSorted(as, bs); got != want {
+			t.Fatalf("trial %d: CardinalityBoundSorted(%v,%v) = %d, reference = %d", trial, as, bs, got, want)
+		}
+		if got := CardinalityBoundSorted(bs, as); got != want {
+			t.Fatalf("trial %d: CardinalityBoundSorted is not symmetric: %d vs %d", trial, got, want)
+		}
+	}
+}

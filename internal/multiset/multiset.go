@@ -86,9 +86,143 @@ func Psi(a, b Counts) int {
 	return m - IntersectionSize(a, b)
 }
 
-// PsiLabels is Psi applied directly to label slices.
+// PsiLabels is Psi applied directly to label slices. It runs on the dense
+// sorted-slice path (two sorts and a merge walk) rather than building maps.
 func PsiLabels(a, b []hypergraph.Label) int {
-	return Psi(FromLabels(a), FromLabels(b))
+	sa, sb := SortedFromLabels(a), SortedFromLabels(b)
+	m := len(a)
+	if len(b) > m {
+		m = len(b)
+	}
+	return m - IntersectionSizeSorted(sa, sb)
+}
+
+// Sorted is the dense multiset representation behind the batched filter
+// stage: parallel slices of unique labels (ascending) and their
+// multiplicities. Unlike Counts it is allocation-stable — a Sorted can view
+// a sub-range of a shared arena — and intersection is a branch-predictable
+// merge walk instead of map probing. The zero value is the empty multiset.
+type Sorted struct {
+	Labels []hypergraph.Label // ascending, unique
+	Counts []int32            // parallel to Labels, all > 0
+}
+
+// SortedFromLabels builds the dense multiset of a label slice.
+func SortedFromLabels(labels []hypergraph.Label) Sorted {
+	if len(labels) == 0 {
+		return Sorted{}
+	}
+	ls := make([]hypergraph.Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	// The unique labels are compacted into ls's own backing array: the
+	// write position never passes the read position, so no extra slice.
+	s := Sorted{Labels: ls[:0], Counts: make([]int32, 0, 8)}
+	for i := 0; i < len(ls); {
+		j := i + 1
+		for j < len(ls) && ls[j] == ls[i] {
+			j++
+		}
+		s.Labels = append(s.Labels, ls[i])
+		s.Counts = append(s.Counts, int32(j-i))
+		i = j
+	}
+	return s
+}
+
+// SortedFromInterned builds the dense multiset of an interned-label-id
+// slice (ids index into dict, a graph's dense label dictionary — see
+// hypergraph.CSR). Multiplicities accumulate in one pass over a dense
+// counter array, so only the distinct labels pay for sorting.
+func SortedFromInterned(ids []int32, dict []hypergraph.Label) Sorted {
+	if len(ids) == 0 {
+		return Sorted{}
+	}
+	cnt := make([]int32, len(dict))
+	for _, id := range ids {
+		cnt[id]++
+	}
+	distinct := 0
+	for _, k := range cnt {
+		if k > 0 {
+			distinct++
+		}
+	}
+	s := Sorted{
+		Labels: make([]hypergraph.Label, 0, distinct),
+		Counts: make([]int32, 0, distinct),
+	}
+	for id, k := range cnt {
+		if k > 0 {
+			s.Labels = append(s.Labels, dict[id])
+			s.Counts = append(s.Counts, k)
+		}
+	}
+	// The dictionary assigns ids in first-seen order, not label order.
+	sort.Sort(pairsByLabel{s.Labels, s.Counts})
+	return s
+}
+
+// pairsByLabel co-sorts a (labels, counts) pair list by ascending label.
+type pairsByLabel struct {
+	labels []hypergraph.Label
+	counts []int32
+}
+
+func (p pairsByLabel) Len() int           { return len(p.labels) }
+func (p pairsByLabel) Less(i, j int) bool { return p.labels[i] < p.labels[j] }
+func (p pairsByLabel) Swap(i, j int) {
+	p.labels[i], p.labels[j] = p.labels[j], p.labels[i]
+	p.counts[i], p.counts[j] = p.counts[j], p.counts[i]
+}
+
+// Size returns the total multiplicity.
+func (s Sorted) Size() int {
+	n := 0
+	for _, k := range s.Counts {
+		n += int(k)
+	}
+	return n
+}
+
+// IntersectionSizeSorted returns |S1 ∩ S2| as multisets via a merge walk
+// over the two sorted label lists.
+func IntersectionSizeSorted(a, b Sorted) int {
+	n, i, j := 0, 0, 0
+	for i < len(a.Labels) && j < len(b.Labels) {
+		switch {
+		case a.Labels[i] < b.Labels[j]:
+			i++
+		case a.Labels[i] > b.Labels[j]:
+			j++
+		default:
+			if a.Counts[i] < b.Counts[j] {
+				n += int(a.Counts[i])
+			} else {
+				n += int(b.Counts[j])
+			}
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// PsiSorted is Psi over the dense representation: max(|S1|, |S2|) − |S1 ∩ S2|.
+// Callers that already know the multiset sizes (the filter stage keeps them
+// in its signature table) should use PsiSortedSized to skip the size walks.
+func PsiSorted(a, b Sorted) int {
+	return PsiSortedSized(a, b, a.Size(), b.Size())
+}
+
+// PsiSortedSized is PsiSorted with both total multiplicities supplied by
+// the caller.
+func PsiSortedSized(a, b Sorted, sizeA, sizeB int) int {
+	m := sizeA
+	if sizeB > m {
+		m = sizeB
+	}
+	return m - IntersectionSizeSorted(a, b)
 }
 
 // CardinalityBound implements the hyperedge-based lower bound of
@@ -115,6 +249,30 @@ func CardinalityBound(a, b []int) int {
 			d = -d
 		}
 		total += d
+	}
+	return total
+}
+
+// CardinalityBoundSorted is CardinalityBound for cardinality lists that are
+// already sorted ascending (the signature table stores them that way): the
+// zero padding of the shorter list conceptually sits at its front, so the
+// L1 walk needs no allocation and no sort.
+func CardinalityBoundSorted(a, b []int32) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	pad := len(a) - len(b)
+	total := 0
+	for i, av := range a {
+		var bv int32
+		if i >= pad {
+			bv = b[i-pad]
+		}
+		d := av - bv
+		if d < 0 {
+			d = -d
+		}
+		total += int(d)
 	}
 	return total
 }

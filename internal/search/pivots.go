@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
-	"sort"
 
 	"hged/internal/core"
 	"hged/internal/hypergraph"
@@ -95,9 +94,9 @@ func (ix *Index) Pivots() *pivot.Index { return ix.pivots }
 // multisets). Snapshots persist these so a loaded pivot table can be
 // bound to the corpus it was built over.
 func (ix *Index) SignatureDigests() []uint64 {
-	out := make([]uint64, len(ix.sigs))
-	for i := range ix.sigs {
-		out[i] = ix.sigs[i].digest()
+	out := make([]uint64, ix.sigs.size())
+	for i := range out {
+		out[i] = ix.sigs.at(i).digest()
 	}
 	return out
 }
@@ -122,18 +121,15 @@ func (s signature) digest() uint64 {
 	return h.Sum64()
 }
 
-// putCounts feeds a label multiset into the digest in ascending label
-// order (map iteration order must never reach the hash).
-func putCounts(put func(int64), c multiset.Counts) {
-	labels := make([]int, 0, len(c))
-	for l := range c {
-		labels = append(labels, int(l))
-	}
-	sort.Ints(labels)
-	put(int64(len(labels)))
-	for _, l := range labels {
+// putCounts feeds a label multiset into the digest: the number of distinct
+// labels, then the (label, multiplicity) pairs in ascending label order —
+// which Sorted maintains by construction, so the bytes are identical to
+// the historical map-and-sort encoding and old snapshots keep attaching.
+func putCounts(put func(int64), s multiset.Sorted) {
+	put(int64(len(s.Labels)))
+	for i, l := range s.Labels {
 		put(int64(l))
-		put(int64(c[hypergraph.Label(l)]))
+		put(int64(s.Counts[i]))
 	}
 }
 

@@ -33,68 +33,131 @@ import (
 	"hged/internal/pivot"
 )
 
-// signature is the per-graph filter summary: entity counts, label
-// multisets, and the sorted hyperedge-cardinality list.
+// signature is the per-graph filter summary: entity counts, dense label
+// multisets, and the ascending hyperedge-cardinality list. Corpus
+// signatures are views into the index's struct-of-arrays table (sigTable,
+// returned by at); the query's is a standalone record from signatureOf.
 type signature struct {
-	n, m       int
-	nodeLabels multiset.Counts
-	edgeLabels multiset.Counts
-	cards      []int // ascending
-	incid      int   // Σ|E|
+	n, m       int32
+	incid      int32 // Σ|E|
+	nodeLabels multiset.Sorted
+	edgeLabels multiset.Sorted
+	cards      []int32 // ascending
 }
 
 func signatureOf(g *hypergraph.Hypergraph) signature {
-	s := signature{n: g.NumNodes(), m: g.NumEdges()}
-	nodeLabels := make([]hypergraph.Label, s.n)
-	for v := 0; v < s.n; v++ {
-		nodeLabels[v] = g.NodeLabel(hypergraph.NodeID(v))
+	c := g.Freeze()
+	s := signature{
+		n:          int32(c.NumNodes()),
+		m:          int32(c.NumEdges()),
+		incid:      int32(c.Incidences()),
+		nodeLabels: multiset.SortedFromInterned(c.NodeLabelIDs(), c.Labels()),
+		edgeLabels: multiset.SortedFromInterned(c.EdgeLabelIDs(), c.Labels()),
+		cards:      make([]int32, c.NumEdges()),
 	}
-	s.nodeLabels = multiset.FromLabels(nodeLabels)
-	edgeLabels := make([]hypergraph.Label, 0, s.m)
-	for _, e := range g.Edges() {
-		edgeLabels = append(edgeLabels, e.Label)
-		s.cards = append(s.cards, e.Arity())
-		s.incid += e.Arity()
+	for e := range s.cards {
+		s.cards[e] = int32(c.Arity(hypergraph.EdgeID(e)))
 	}
-	s.edgeLabels = multiset.FromLabels(edgeLabels)
-	sort.Ints(s.cards)
+	sort.Slice(s.cards, func(i, j int) bool { return s.cards[i] < s.cards[j] })
 	return s
+}
+
+// sigTable stores the corpus signatures in struct-of-arrays layout: the
+// stride-1 count columns drive the batched count filter as one tight loop,
+// and the variable-width parts — cardinality lists and label-multiset
+// (label, multiplicity) pairs — live in shared arenas addressed by
+// per-graph offset ranges. The filter pass therefore walks contiguous
+// memory in corpus order instead of chasing a pointer-laden record per
+// candidate, and a graph's signature view costs no allocation (at).
+type sigTable struct {
+	n, m, incid []int32 // stride-1 columns, one entry per corpus graph
+
+	cardOff []int32 // len size+1; graph i's cards at cards[cardOff[i]:cardOff[i+1]]
+	cards   []int32 // ascending within each graph's range
+
+	nodeOff    []int32 // len size+1; ranges over the node-label pair arena
+	nodeLabels []hypergraph.Label
+	nodeCounts []int32
+
+	edgeOff    []int32 // len size+1; ranges over the edge-label pair arena
+	edgeLabels []hypergraph.Label
+	edgeCounts []int32
+}
+
+func (t *sigTable) size() int { return len(t.n) }
+
+func (t *sigTable) init(size int) {
+	t.n = make([]int32, 0, size)
+	t.m = make([]int32, 0, size)
+	t.incid = make([]int32, 0, size)
+	t.cardOff = append(make([]int32, 0, size+1), 0)
+	t.nodeOff = append(make([]int32, 0, size+1), 0)
+	t.edgeOff = append(make([]int32, 0, size+1), 0)
+}
+
+// push appends s as the next corpus row, copying its variable-width parts
+// into the arenas.
+func (t *sigTable) push(s signature) {
+	t.n = append(t.n, s.n)
+	t.m = append(t.m, s.m)
+	t.incid = append(t.incid, s.incid)
+	t.cards = append(t.cards, s.cards...)
+	t.cardOff = append(t.cardOff, int32(len(t.cards)))
+	t.nodeLabels = append(t.nodeLabels, s.nodeLabels.Labels...)
+	t.nodeCounts = append(t.nodeCounts, s.nodeLabels.Counts...)
+	t.nodeOff = append(t.nodeOff, int32(len(t.nodeCounts)))
+	t.edgeLabels = append(t.edgeLabels, s.edgeLabels.Labels...)
+	t.edgeCounts = append(t.edgeCounts, s.edgeLabels.Counts...)
+	t.edgeOff = append(t.edgeOff, int32(len(t.edgeCounts)))
+}
+
+// at returns graph i's signature as a view aliasing the table's arenas.
+func (t *sigTable) at(i int) signature {
+	no0, no1 := t.nodeOff[i], t.nodeOff[i+1]
+	eo0, eo1 := t.edgeOff[i], t.edgeOff[i+1]
+	return signature{
+		n:          t.n[i],
+		m:          t.m[i],
+		incid:      t.incid[i],
+		nodeLabels: multiset.Sorted{Labels: t.nodeLabels[no0:no1], Counts: t.nodeCounts[no0:no1]},
+		edgeLabels: multiset.Sorted{Labels: t.edgeLabels[eo0:eo1], Counts: t.edgeCounts[eo0:eo1]},
+		cards:      t.cards[t.cardOff[i]:t.cardOff[i+1]],
+	}
+}
+
+func absDiff(a, b int32) int {
+	d := int(a) - int(b)
+	if d < 0 {
+		return -d
+	}
+	return d
 }
 
 // countFilter is the coarsest bound: editing node and hyperedge counts
 // costs at least their differences (each missing hyperedge additionally
 // costs its cardinality, captured by the cardinality filter).
 func countFilter(a, b signature) int {
-	d := a.n - b.n
-	if d < 0 {
-		d = -d
-	}
-	e := a.m - b.m
-	if e < 0 {
-		e = -e
-	}
-	return d + e
+	return absDiff(a.n, b.n) + absDiff(a.m, b.m)
 }
 
 // labelFilter is the Ψ bound of Definition 5 over both label multisets.
+// The multiset sizes are the entity counts already in the signature, so
+// only the intersection merge walks memory.
 func labelFilter(a, b signature) int {
-	return multiset.Psi(a.nodeLabels, b.nodeLabels) + multiset.Psi(a.edgeLabels, b.edgeLabels)
+	return multiset.PsiSortedSized(a.nodeLabels, b.nodeLabels, int(a.n), int(b.n)) +
+		multiset.PsiSortedSized(a.edgeLabels, b.edgeLabels, int(a.m), int(b.m))
 }
 
 // cardFilter is the Definition-6 cardinality bound plus the node-count
 // difference (disjoint cost families).
 func cardFilter(a, b signature) int {
-	d := a.n - b.n
-	if d < 0 {
-		d = -d
-	}
-	return d + multiset.CardinalityBound(a.cards, b.cards)
+	return absDiff(a.n, b.n) + multiset.CardinalityBoundSorted(a.cards, b.cards)
 }
 
 // combinedFilter is the full Strategy-3 bound: label Ψ plus cardinality
 // bound (they charge disjoint operation families).
 func combinedFilter(a, b signature) int {
-	return labelFilter(a, b) + multiset.CardinalityBound(a.cards, b.cards)
+	return labelFilter(a, b) + multiset.CardinalityBoundSorted(a.cards, b.cards)
 }
 
 // Index is a similarity-search index over a corpus of hypergraphs. Build
@@ -104,7 +167,7 @@ func combinedFilter(a, b signature) int {
 // filter-and-verify scan.
 type Index struct {
 	graphs []*hypergraph.Hypergraph
-	sigs   []signature
+	sigs   sigTable
 	// pivots, when non-nil with at least one pivot, adds the
 	// triangle-inequality candidate filter in front of verification.
 	pivots *pivot.Index
@@ -121,12 +184,13 @@ type Index struct {
 	BoundTimer func(compute func())
 }
 
-// Build indexes the corpus. The graphs are retained by reference and must
-// not be mutated afterwards.
+// Build indexes the corpus. The graphs are retained by reference (Build
+// freezes each one's CSR view) and must not be mutated afterwards.
 func Build(graphs []*hypergraph.Hypergraph) *Index {
-	ix := &Index{graphs: graphs, sigs: make([]signature, len(graphs))}
-	for i, g := range graphs {
-		ix.sigs[i] = signatureOf(g)
+	ix := &Index{graphs: graphs}
+	ix.sigs.init(len(graphs))
+	for _, g := range graphs {
+		ix.sigs.push(signatureOf(g))
 	}
 	return ix
 }
@@ -205,11 +269,19 @@ func (ix *Index) SearchContext(ctx context.Context, q *hypergraph.Hypergraph, ta
 		return nil, stats, err
 	}
 	var admitted []Match
-	survivors := make([]int, 0, len(ix.sigs))
-	for i, s := range ix.sigs {
-		switch {
-		case countFilter(qs, s) > tau:
+	t := &ix.sigs
+	survivors := make([]int, 0, t.size())
+	for i := 0; i < t.size(); i++ {
+		// Batched cheap-bound pass: the count filter reads only the
+		// stride-1 columns, so most candidates die without touching the
+		// arenas; survivors' label and cardinality walks then run over
+		// contiguous arena ranges.
+		if absDiff(qs.n, t.n[i])+absDiff(qs.m, t.m[i]) > tau {
 			stats.PrunedByCount++
+			continue
+		}
+		s := t.at(i)
+		switch {
 		case labelFilter(qs, s) > tau:
 			stats.PrunedByLabel++
 		case cardFilter(qs, s) > tau:
@@ -370,9 +442,9 @@ func (ix *Index) NearestContext(ctx context.Context, q *hypergraph.Hypergraph, k
 		known    bool
 		dist     int
 	}
-	cands := make([]cand, len(ix.sigs))
-	for i, s := range ix.sigs {
-		c := cand{id: i, bound: combinedFilter(qs, s)}
+	cands := make([]cand, ix.sigs.size())
+	for i := range cands {
+		c := cand{id: i, bound: combinedFilter(qs, ix.sigs.at(i))}
 		if qd != nil {
 			if lb, ub, ok := ix.pivots.Bounds(qd, i); ok {
 				if lb > c.bound {
