@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -33,6 +34,8 @@ import (
 	"hged"
 	"hged/internal/core"
 	"hged/internal/gen"
+	"hged/internal/hgio"
+	"hged/internal/hypergraph"
 	"hged/internal/predict"
 	"hged/internal/search"
 )
@@ -565,7 +568,132 @@ func suite() []benchmark {
 		{"Search/uni-knn-piv", func(b *testing.B) {
 			benchPivotKNN(b, 8)
 		}},
+		// The Snapshot group measures corpus cold start: loading the
+		// 256-graph filter-batch corpus from a combined .hgx snapshot
+		// (graphs land directly in their frozen CSR form, the signature
+		// table is restored column-for-column) versus parsing the same
+		// corpus from .hg text files and rebuilding the index.
+		// freezeBuilds/op counts CSR constructions during the timed loop —
+		// the .hgx paths must report 0.0, including through the first
+		// query (the zero-rebuild cold-start property).
+		{"Snapshot/load-hgx", func(b *testing.B) {
+			_, hgx := snapshotBenchEnv(b)
+			before := hypergraph.FreezeBuilds()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := hgio.ReadCorpusSnapshotFile(hgx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(hypergraph.FreezeBuilds()-before)/float64(b.N), "freezeBuilds/op")
+		}},
+		// The -windowed variant reads the same file section by section
+		// through io.ReaderAt — the access pattern an mmap-backed loader
+		// would have. Comparing it against load-hgx is the measured answer
+		// to the "should snapshots be mmap-able?" question (DESIGN.md).
+		{"Snapshot/load-hgx-windowed", func(b *testing.B) {
+			_, hgx := snapshotBenchEnv(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := hgio.ReadCorpusSnapshotFileWindowed(hgx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Snapshot/load-text", func(b *testing.B) {
+			files, _ := snapshotBenchEnv(b)
+			before := hypergraph.FreezeBuilds()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loadTextCorpus(b, files)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(hypergraph.FreezeBuilds()-before)/float64(b.N), "freezeBuilds/op")
+		}},
+		{"Snapshot/first-query-cold", func(b *testing.B) {
+			_, hgx := snapshotBenchEnv(b)
+			before := hypergraph.FreezeBuilds()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, ix, _, err := hgio.ReadCorpusSnapshotFile(hgx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ix.MaxExpansions = 50_000
+				if _, _, err := ix.Search(ix.Graph(17), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			builds := hypergraph.FreezeBuilds() - before
+			b.ReportMetric(float64(builds)/float64(b.N), "freezeBuilds/op")
+			if builds != 0 {
+				b.Fatalf("cold start from .hgx performed %d freeze rebuilds over %d ops, want 0", builds, b.N)
+			}
+		}},
+		{"Snapshot/first-query-text", func(b *testing.B) {
+			files, _ := snapshotBenchEnv(b)
+			before := hypergraph.FreezeBuilds()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix := loadTextCorpus(b, files)
+				ix.MaxExpansions = 50_000
+				if _, _, err := ix.Search(ix.Graph(17), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(hypergraph.FreezeBuilds()-before)/float64(b.N), "freezeBuilds/op")
+		}},
 	}
+}
+
+// snapshotBenchEnv writes the filter-batch corpus (256 small uniform
+// hypergraphs, same seed as filterBatchWorkload) to a temp dir twice over:
+// as individual .hg text files and as one combined .hgx corpus snapshot.
+// Setup runs outside the timed region.
+func snapshotBenchEnv(b *testing.B) (files []string, hgx string) {
+	b.Helper()
+	dir := b.TempDir()
+	rng := rand.New(rand.NewSource(23))
+	corpus := make([]*hged.Hypergraph, 256)
+	files = make([]string, len(corpus))
+	for i := range corpus {
+		corpus[i] = gen.Uniform(3+rng.Intn(5), 1+rng.Intn(4), 3, 4, 3, rng.Int63()+1)
+		files[i] = filepath.Join(dir, fmt.Sprintf("g%03d.hg", i))
+		f, err := os.Create(files[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := hged.WriteHG(f, corpus[i]); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ix := search.Build(corpus)
+	hgx = filepath.Join(dir, "corpus.hgx")
+	if err := hgio.WriteCorpusSnapshotFile(hgx, files, ix); err != nil {
+		b.Fatal(err)
+	}
+	return files, hgx
+}
+
+// loadTextCorpus is the cold-start baseline: parse every .hg file and build
+// the search index from scratch.
+func loadTextCorpus(b *testing.B, files []string) *search.Index {
+	b.Helper()
+	corpus := make([]*hged.Hypergraph, len(files))
+	for i, path := range files {
+		g, err := hgio.ReadFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		corpus[i] = g
+	}
+	return search.Build(corpus)
 }
 
 func benchPivotRange(b *testing.B, pivots int) {

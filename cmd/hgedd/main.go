@@ -6,13 +6,21 @@
 //
 //	hgedd [-addr :8080] [-load name=path.hg]... [-benson name=nverts,simplices[,labels]]...
 //	      [-sync-limit N] [-workers N] [-queue N] [-request-timeout 30s] [-drain 30s]
-//	      [-job-retention N] [-pivots N] [-index-snapshot path] [-pprof addr]
+//	      [-job-retention N] [-pivots N] [-index-snapshot path]
+//	      [-corpus-snapshot path.hgx] [-pprof addr]
 //
 // -pivots builds a pivot-based metric index over the loaded graphs before
 // serving: similarity searches prune candidates by the triangle inequality
 // (see GET /metrics, "pivot" section). -index-snapshot persists that index
 // to a file — when the file already matches the loaded corpus the build is
 // skipped and the table loaded instead.
+//
+// -corpus-snapshot goes further: it persists the whole corpus and search
+// index (pivot table included) as one .hgx file. When the file matches the
+// requested corpus the daemon cold-starts from it directly — graphs load
+// straight into their frozen CSR form, nothing is parsed or rebuilt — and
+// otherwise the graph files are loaded, the index built, and the snapshot
+// rewritten for the next start (see GET /metrics, "snapshot" section).
 //
 // -job-retention caps how many finished (done/failed/cancelled) HEP jobs
 // stay inspectable via GET /v1/jobs; the oldest terminal jobs are evicted
@@ -78,6 +86,7 @@ func run() error {
 	jobRetention := flag.Int("job-retention", 256, "finished HEP jobs kept for inspection (oldest evicted first)")
 	pivots := flag.Int("pivots", 0, "pivot count for the similarity-search metric index (0 = linear scan)")
 	indexSnapshot := flag.String("index-snapshot", "", "pivot-index snapshot path: loaded when it matches the corpus, written after a build")
+	corpusSnapshot := flag.String("corpus-snapshot", "", "combined corpus+index snapshot path (.hgx): cold-start from it when it matches the requested corpus, rebuild from the graph files and write it otherwise")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	flag.Func("load", "name=path: load a .hg or .json graph at startup (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -111,36 +120,64 @@ func run() error {
 		MaxUploadBytes: *maxUpload,
 		Pivots:         *pivots,
 		IndexSnapshot:  *indexSnapshot,
+		CorpusSnapshot: *corpusSnapshot,
 		Logger:         logger,
 	})
-	for _, l := range loads {
-		e, err := srv.Registry().LoadFile(l.name, l.path)
-		if err != nil {
-			return err
-		}
-		logger.Printf("loaded graph %q from %s: %d nodes, %d hyperedges",
-			e.Name, l.path, e.Stats.Nodes, e.Stats.Edges)
-	}
-	for _, b := range bensons {
-		g, err := readBenson(b.files)
-		if err != nil {
-			return fmt.Errorf("graph %q: %w", b.name, err)
-		}
-		e, err := srv.Registry().Add(b.name, g, strings.Join(b.files, ","))
-		if err != nil {
-			return err
-		}
-		logger.Printf("loaded graph %q (benson): %d nodes, %d hyperedges",
-			e.Name, e.Stats.Nodes, e.Stats.Edges)
-	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Build (or load) the similarity-search index before accepting
-	// traffic; a SIGINT during a long pivot precompute aborts cleanly.
-	if err := srv.InitSearchIndex(ctx); err != nil {
-		return fmt.Errorf("search index: %w", err)
+	// Cold-start from the combined corpus+index snapshot when it matches
+	// the requested corpus: the graphs land directly in their frozen CSR
+	// form and the search index (pivot table included) is adopted as-is,
+	// so no file is parsed and nothing is rebuilt.
+	restored := false
+	if *corpusSnapshot != "" {
+		want := make([]string, 0, len(loads)+len(bensons))
+		for _, l := range loads {
+			want = append(want, l.name)
+		}
+		for _, b := range bensons {
+			want = append(want, b.name)
+		}
+		if err := srv.LoadCorpusSnapshot(ctx, *corpusSnapshot, want); err != nil {
+			logger.Printf("corpus snapshot %s unusable, loading graph files: %v", *corpusSnapshot, err)
+		} else {
+			restored = true
+		}
+	}
+	if !restored {
+		for _, l := range loads {
+			e, err := srv.Registry().LoadFile(l.name, l.path)
+			if err != nil {
+				return err
+			}
+			logger.Printf("loaded graph %q from %s: %d nodes, %d hyperedges",
+				e.Name, l.path, e.Stats.Nodes, e.Stats.Edges)
+		}
+		for _, b := range bensons {
+			g, err := readBenson(b.files)
+			if err != nil {
+				return fmt.Errorf("graph %q: %w", b.name, err)
+			}
+			e, err := srv.Registry().Add(b.name, g, strings.Join(b.files, ","))
+			if err != nil {
+				return err
+			}
+			logger.Printf("loaded graph %q (benson): %d nodes, %d hyperedges",
+				e.Name, e.Stats.Nodes, e.Stats.Edges)
+		}
+
+		// Build (or load) the similarity-search index before accepting
+		// traffic; a SIGINT during a long pivot precompute aborts cleanly.
+		if err := srv.InitSearchIndex(ctx); err != nil {
+			return fmt.Errorf("search index: %w", err)
+		}
+		if *corpusSnapshot != "" {
+			if err := srv.SaveCorpusSnapshot(ctx, *corpusSnapshot); err != nil {
+				logger.Printf("persisting corpus snapshot %s failed: %v", *corpusSnapshot, err)
+			}
+		}
 	}
 
 	if *pprofAddr != "" {

@@ -16,8 +16,12 @@
 // distances) so candidates can be pruned or admitted by the triangle
 // inequality before verification — same results, fewer exact solves.
 // -index-snapshot persists that index: when the file already matches the
-// corpus the build is skipped and the table loaded from disk. Ctrl-C
-// cancels a build or scan in progress.
+// corpus the build is skipped and the table loaded from disk.
+// -corpus-snapshot persists the corpus and index together as one .hgx file:
+// when it matches the corpus files (or when no corpus files are given at
+// all) the graphs load straight into their frozen CSR form with the index
+// and pivot table adopted as-is — no parsing, no rebuild. Ctrl-C cancels a
+// build or scan in progress.
 package main
 
 import (
@@ -49,6 +53,7 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "verification workers (≤ 1 = sequential)")
 	pivots := flag.Int("pivots", 0, "pivot count for the metric index (0 = linear scan)")
 	snapshot := flag.String("index-snapshot", "", "pivot-index snapshot path: loaded when it matches the corpus, written after a build")
+	corpusSnapshot := flag.String("corpus-snapshot", "", "combined corpus+index snapshot path (.hgx): loaded when it matches the corpus files (or used as the whole corpus when none are given), written after a build")
 	flag.Parse()
 
 	if *query == "" {
@@ -58,50 +63,72 @@ func run() error {
 	if (*tau < 0) == (*k <= 0) {
 		return fmt.Errorf("need exactly one of -tau or -k")
 	}
+	if *corpusSnapshot != "" && *egos {
+		return fmt.Errorf("-corpus-snapshot cannot be combined with -egos (ego corpora are derived, not loaded)")
+	}
 	q, err := load(*query)
 	if err != nil {
 		return err
 	}
 
-	var corpus []*hypergraph.Hypergraph
-	var describe func(id int) string
-	if *egos {
-		if flag.NArg() != 1 {
-			return fmt.Errorf("-egos takes exactly one host graph file")
-		}
-		host, err := load(flag.Arg(0))
-		if err != nil {
-			return err
-		}
-		for v := 0; v < host.NumNodes(); v++ {
-			corpus = append(corpus, host.Ego(hypergraph.NodeID(v)))
-		}
-		describe = func(id int) string { return fmt.Sprintf("EGO(%d)", id) }
-	} else {
-		if flag.NArg() == 0 {
-			return fmt.Errorf("need corpus files")
-		}
-		files := flag.Args()
-		for _, f := range files {
-			g, err := load(f)
-			if err != nil {
-				return err
-			}
-			corpus = append(corpus, g)
-		}
-		describe = func(id int) string { return files[id] }
-	}
-
-	ix := search.Build(corpus)
-	ix.MaxExpansions = *maxExp
-	ix.Parallelism = *parallel
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := equipPivots(ctx, ix, *pivots, *snapshot); err != nil {
-		return err
+	var corpus []*hypergraph.Hypergraph
+	var describe func(id int) string
+	var ix *search.Index
+	if *corpusSnapshot != "" {
+		ix, describe, err = fromCorpusSnapshot(*corpusSnapshot, flag.Args(), *pivots)
+		if err != nil && flag.NArg() == 0 {
+			return err
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hgsearch: corpus snapshot %s unusable, loading corpus files: %v\n", *corpusSnapshot, err)
+		}
 	}
+	if ix == nil {
+		if *egos {
+			if flag.NArg() != 1 {
+				return fmt.Errorf("-egos takes exactly one host graph file")
+			}
+			host, err := load(flag.Arg(0))
+			if err != nil {
+				return err
+			}
+			for v := 0; v < host.NumNodes(); v++ {
+				corpus = append(corpus, host.Ego(hypergraph.NodeID(v)))
+			}
+			describe = func(id int) string { return fmt.Sprintf("EGO(%d)", id) }
+		} else {
+			if flag.NArg() == 0 {
+				return fmt.Errorf("need corpus files")
+			}
+			files := flag.Args()
+			for _, f := range files {
+				g, err := load(f)
+				if err != nil {
+					return err
+				}
+				corpus = append(corpus, g)
+			}
+			describe = func(id int) string { return files[id] }
+		}
+
+		ix = search.Build(corpus)
+		ix.MaxExpansions = *maxExp
+		ix.Parallelism = *parallel
+		if err := equipPivots(ctx, ix, *pivots, *snapshot); err != nil {
+			return err
+		}
+		if *corpusSnapshot != "" {
+			if err := hgio.WriteCorpusSnapshotFile(*corpusSnapshot, flag.Args(), ix); err != nil {
+				return fmt.Errorf("persisting corpus snapshot: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "hgsearch: corpus snapshot written to %s\n", *corpusSnapshot)
+		}
+	}
+	ix.MaxExpansions = *maxExp
+	ix.Parallelism = *parallel
 
 	var matches []search.Match
 	var stats search.FilterStats
@@ -121,6 +148,43 @@ func run() error {
 		stats.PrunedByBound, stats.PrunedByTriangle, stats.AdmittedByUpperBound,
 		stats.Verified, stats.VerifiedWithin)
 	return nil
+}
+
+// fromCorpusSnapshot restores the corpus and index from a combined .hgx
+// snapshot. With corpus files on the command line the snapshot must list
+// exactly those files in the same order (so result IDs mean the same thing
+// a fresh build would); with none, the snapshot itself defines the corpus.
+// The embedded pivot table must match -pivots — searching with a different
+// accelerator than asked for would change the reported filter stats.
+func fromCorpusSnapshot(path string, files []string, pivots int) (*search.Index, func(id int) string, error) {
+	names, ix, nbytes, err := hgio.ReadCorpusSnapshotFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(files) > 0 {
+		if len(files) != len(names) {
+			return nil, nil, fmt.Errorf("snapshot holds %d graphs, %d corpus files given", len(names), len(files))
+		}
+		for i, f := range files {
+			if names[i] != f {
+				return nil, nil, fmt.Errorf("snapshot graph %d is %q, corpus file is %q", i, names[i], f)
+			}
+		}
+	}
+	want := pivots
+	if n := ix.Len(); want > n {
+		want = n
+	}
+	got := 0
+	if pv := ix.Pivots(); pv != nil {
+		got = pv.K()
+	}
+	if got != want {
+		return nil, nil, fmt.Errorf("snapshot has %d pivots, -pivots wants %d", got, want)
+	}
+	fmt.Fprintf(os.Stderr, "hgsearch: corpus+index loaded from %s (%d graphs, %d pivots, %d bytes)\n",
+		path, len(names), got, nbytes)
+	return ix, func(id int) string { return names[id] }, nil
 }
 
 // equipPivots attaches a k-pivot metric index to ix: loaded from the

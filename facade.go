@@ -158,6 +158,40 @@ func ReadPivotSnapshotFile(path string) (*PivotIndex, []uint64, error) {
 	return hgio.ReadPivotSnapshotFile(path)
 }
 
+// WriteCorpusSnapshot serializes a whole search corpus — the graphs (as
+// nested binary records), the index's signature table and digests, and any
+// attached pivot table — as one checksummed .hgx snapshot. names[i] labels
+// graph i (registry names or source file paths).
+func WriteCorpusSnapshot(w io.Writer, names []string, ix *SearchIndex) error {
+	return hgio.WriteCorpusSnapshot(w, names, ix)
+}
+
+// ReadCorpusSnapshot restores a corpus snapshot: the graphs come back
+// frozen-first (CSR views built straight from the decoded arrays, no map
+// round-trip) and the index is revalidated against them, so a load either
+// yields a fully consistent corpus or an error.
+func ReadCorpusSnapshot(r io.Reader) ([]string, *SearchIndex, error) {
+	return hgio.ReadCorpusSnapshot(r)
+}
+
+// WriteCorpusSnapshotFile atomically writes a corpus snapshot to path.
+func WriteCorpusSnapshotFile(path string, names []string, ix *SearchIndex) error {
+	return hgio.WriteCorpusSnapshotFile(path, names, ix)
+}
+
+// ReadCorpusSnapshotFile reads a corpus snapshot from path with one
+// contiguous read, also returning the on-disk byte count.
+func ReadCorpusSnapshotFile(path string) ([]string, *SearchIndex, int64, error) {
+	return hgio.ReadCorpusSnapshotFile(path)
+}
+
+// ReadCorpusSnapshotFileWindowed reads a corpus snapshot section by section
+// through io.ReaderAt instead of one contiguous read — the access pattern an
+// mmap-backed loader would have (cmd/bench races the two; see DESIGN.md).
+func ReadCorpusSnapshotFileWindowed(path string) ([]string, *SearchIndex, int64, error) {
+	return hgio.ReadCorpusSnapshotFileWindowed(path)
+}
+
 // Named graphs (internal/names).
 type (
 	// NamedBuilder builds hypergraphs addressed by string names.

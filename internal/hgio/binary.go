@@ -2,11 +2,10 @@ package hgio
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
-	"path/filepath"
 
 	"hged/internal/hypergraph"
 )
@@ -99,136 +98,125 @@ func WriteBinary(w io.Writer, g *hypergraph.Hypergraph) error {
 	return nil
 }
 
-// ReadBinary parses the .hgb format written by WriteBinary. Every header
-// count, label id, offset, and member id is validated — and the checksum
-// verified — before any hypergraph is constructed.
-func ReadBinary(r io.Reader) (*hypergraph.Hypergraph, error) {
-	crc := crc32.NewIEEE()
-	cr := &checksumReader{r: bufio.NewReader(r), h: crc}
-	magic := make([]byte, len(binaryGraphMagic))
-	if _, err := io.ReadFull(cr, magic); err != nil {
-		return nil, fmt.Errorf("hgio: binary graph header: %w", err)
+// binaryGraphHeaderLen is the fixed prefix of a .hgb record: the magic plus
+// five uint32 fields (version, n, m, L, incid).
+const binaryGraphHeaderLen = len(binaryGraphMagic) + 5*4
+
+// binaryGraphBodyLen returns the byte count following the header for the
+// given section sizes, including the CRC trailer.
+func binaryGraphBodyLen(n, m, nlab, incid int) int {
+	return 4 * (nlab + n + m + (m + 1) + incid + 1)
+}
+
+// validateBinaryHeader checks the magic, version, and plausibility bounds of
+// a .hgb header and returns the decoded counts.
+func validateBinaryHeader(header []byte) (n, m, nlab, incid int, err error) {
+	if string(header[:len(binaryGraphMagic)]) != binaryGraphMagic {
+		return 0, 0, 0, 0, fmt.Errorf("hgio: not a binary hypergraph (bad magic %q)", header[:len(binaryGraphMagic)])
 	}
-	if string(magic) != binaryGraphMagic {
-		return nil, fmt.Errorf("hgio: not a binary hypergraph (bad magic %q)", magic)
-	}
-	var version, un, um, ul, uincid uint32
-	if err := readU32s(cr, &version, &un, &um, &ul, &uincid); err != nil {
-		return nil, err
-	}
+	p := len(binaryGraphMagic)
+	version := binary.LittleEndian.Uint32(header[p:])
+	un := binary.LittleEndian.Uint32(header[p+4:])
+	um := binary.LittleEndian.Uint32(header[p+8:])
+	ul := binary.LittleEndian.Uint32(header[p+12:])
+	uincid := binary.LittleEndian.Uint32(header[p+16:])
 	if version != binaryGraphVersion {
-		return nil, fmt.Errorf("hgio: unsupported binary graph version %d (want %d)", version, binaryGraphVersion)
+		return 0, 0, 0, 0, fmt.Errorf("hgio: unsupported binary graph version %d (want %d)", version, binaryGraphVersion)
 	}
 	if un > MaxNodes || um > MaxNodes || uincid > MaxNodes*8 {
-		return nil, fmt.Errorf("hgio: implausible binary graph counts n=%d m=%d incid=%d (max %d nodes)", un, um, uincid, MaxNodes)
+		return 0, 0, 0, 0, fmt.Errorf("hgio: implausible binary graph counts n=%d m=%d incid=%d (max %d nodes)", un, um, uincid, MaxNodes)
 	}
 	if ul > un+um {
-		return nil, fmt.Errorf("hgio: label dictionary size %d exceeds entity count %d", ul, un+um)
+		return 0, 0, 0, 0, fmt.Errorf("hgio: label dictionary size %d exceeds entity count %d", ul, un+um)
 	}
-	n, m, nlab, incid := int(un), int(um), int(ul), int(uincid)
-	dict := make([]hypergraph.Label, nlab)
-	for i := range dict {
-		var v uint32
-		if err := readU32s(cr, &v); err != nil {
-			return nil, err
-		}
-		dict[i] = hypergraph.Label(int32(v))
+	return int(un), int(um), int(ul), int(uincid), nil
+}
+
+// decodeBinary decodes one complete .hgb record (magic through CRC trailer,
+// no surrounding bytes) and constructs the hypergraph frozen-first via
+// hypergraph.FromFrozen — the flat arrays are handed to the CSR view
+// directly, never replayed through the mutable representation. The corpus
+// snapshot reader calls it on length-delimited windows of a larger file, so
+// it must never read past len(data).
+func decodeBinary(data []byte) (*hypergraph.Hypergraph, error) {
+	if len(data) < binaryGraphHeaderLen {
+		return nil, fmt.Errorf("hgio: binary graph header: truncated input (%d bytes)", len(data))
 	}
-	readIDs := func(count int, kind string) ([]uint32, error) {
-		ids := make([]uint32, count)
-		for i := range ids {
-			if err := readU32s(cr, &ids[i]); err != nil {
-				return nil, err
-			}
-			if int(ids[i]) >= nlab {
-				return nil, fmt.Errorf("hgio: %s %d has label id %d, dictionary has %d entries", kind, i, ids[i], nlab)
-			}
-		}
-		return ids, nil
-	}
-	nodeLab, err := readIDs(n, "node")
+	n, m, nlab, incid, err := validateBinaryHeader(data)
 	if err != nil {
 		return nil, err
 	}
-	edgeLab, err := readIDs(m, "hyperedge")
-	if err != nil {
-		return nil, err
+	want := binaryGraphHeaderLen + binaryGraphBodyLen(n, m, nlab, incid)
+	if len(data) < want {
+		return nil, fmt.Errorf("hgio: binary graph truncated (%d bytes, want %d)", len(data), want)
 	}
-	offs := make([]uint32, m+1)
-	for i := range offs {
-		if err := readU32s(cr, &offs[i]); err != nil {
-			return nil, err
-		}
-	}
-	if offs[0] != 0 || offs[m] != uint32(incid) {
-		return nil, fmt.Errorf("hgio: hyperedge offsets span [%d,%d], want [0,%d]", offs[0], offs[m], incid)
-	}
-	members := make([]uint32, incid)
-	for e := 0; e < m; e++ {
-		if offs[e+1] < offs[e] {
-			return nil, fmt.Errorf("hgio: hyperedge %d has negative extent (%d..%d)", e, offs[e], offs[e+1])
-		}
-		for i := offs[e]; i < offs[e+1]; i++ {
-			if err := readU32s(cr, &members[i]); err != nil {
-				return nil, err
-			}
-			if int(members[i]) >= n {
-				return nil, fmt.Errorf("hgio: hyperedge %d member %d out of range [0,%d)", e, members[i], n)
-			}
-			if i > offs[e] && members[i] <= members[i-1] {
-				return nil, fmt.Errorf("hgio: hyperedge %d members not strictly ascending", e)
-			}
-		}
-	}
-	sum := crc.Sum32() // the trailer itself is not part of the checksum
-	var stored uint32
-	if err := readU32s(cr, &stored); err != nil {
-		return nil, err
-	}
-	if stored != sum {
-		return nil, fmt.Errorf("hgio: binary graph checksum mismatch (stored %08x, computed %08x): corrupt or torn write", stored, sum)
-	}
-	if extra, _ := io.CopyN(io.Discard, cr, 1); extra != 0 {
+	if len(data) > want {
 		return nil, fmt.Errorf("hgio: trailing data after binary graph")
 	}
-	labels := make([]hypergraph.Label, n)
-	for v := range labels {
-		labels[v] = dict[nodeLab[v]]
+	stored := binary.LittleEndian.Uint32(data[want-4:])
+	if sum := crc32.ChecksumIEEE(data[:want-4]); stored != sum {
+		return nil, fmt.Errorf("hgio: binary graph checksum mismatch (stored %08x, computed %08x): corrupt or torn write", stored, sum)
 	}
-	g := hypergraph.NewLabeled(labels)
-	nodes := make([]hypergraph.NodeID, 0, 16)
-	for e := 0; e < m; e++ {
-		nodes = nodes[:0]
-		for i := offs[e]; i < offs[e+1]; i++ {
-			nodes = append(nodes, hypergraph.NodeID(members[i]))
-		}
-		g.AddEdge(dict[edgeLab[e]], nodes...)
+	p := binaryGraphHeaderLen
+	dict := make([]hypergraph.Label, nlab)
+	for i := range dict {
+		dict[i] = hypergraph.Label(int32(binary.LittleEndian.Uint32(data[p:])))
+		p += 4
+	}
+	nodeLab := make([]int32, n)
+	for i := range nodeLab {
+		nodeLab[i] = int32(binary.LittleEndian.Uint32(data[p:]))
+		p += 4
+	}
+	edgeLab := make([]int32, m)
+	for i := range edgeLab {
+		edgeLab[i] = int32(binary.LittleEndian.Uint32(data[p:]))
+		p += 4
+	}
+	edgeOff := make([]int32, m+1)
+	for i := range edgeOff {
+		edgeOff[i] = int32(binary.LittleEndian.Uint32(data[p:]))
+		p += 4
+	}
+	members := make([]hypergraph.NodeID, incid)
+	for i := range members {
+		members[i] = hypergraph.NodeID(binary.LittleEndian.Uint32(data[p:]))
+		p += 4
+	}
+	g, err := hypergraph.FromFrozen(dict, nodeLab, edgeLab, edgeOff, members)
+	if err != nil {
+		return nil, fmt.Errorf("hgio: invalid binary graph: %w", err)
 	}
 	return g, nil
+}
+
+// ReadBinary parses the .hgb format written by WriteBinary: one header read,
+// one body read, then decodeBinary validates everything (checksum included)
+// before any hypergraph is constructed. The result is built frozen-first —
+// its CSR view is assembled straight from the decoded arrays, so loading
+// performs no map round-trip and no re-freeze.
+func ReadBinary(r io.Reader) (*hypergraph.Hypergraph, error) {
+	header := make([]byte, binaryGraphHeaderLen)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("hgio: binary graph header: %w", err)
+	}
+	n, m, nlab, incid, err := validateBinaryHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, binaryGraphHeaderLen+binaryGraphBodyLen(n, m, nlab, incid))
+	copy(data, header)
+	if _, err := io.ReadFull(r, data[binaryGraphHeaderLen:]); err != nil {
+		return nil, fmt.Errorf("hgio: binary graph truncated: %w", err)
+	}
+	if extra, _ := io.CopyN(io.Discard, r, 1); extra != 0 {
+		return nil, fmt.Errorf("hgio: trailing data after binary graph")
+	}
+	return decodeBinary(data)
 }
 
 // WriteBinaryFile atomically writes g to path in the .hgb format (temp
 // file, fsync, rename — a crash mid-write never leaves a torn file).
 func WriteBinaryFile(path string, g *hypergraph.Hypergraph) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("hgio: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if err := WriteBinary(tmp, g); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("hgio: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("hgio: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("hgio: %w", err)
-	}
-	return nil
+	return writeAtomic(path, func(w io.Writer) error { return WriteBinary(w, g) })
 }

@@ -1,0 +1,220 @@
+package hgio
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hged/internal/gen"
+	"hged/internal/hypergraph"
+	"hged/internal/search"
+)
+
+// snapshotCorpus builds a small deterministic corpus and its search index,
+// optionally with pivots attached.
+func snapshotCorpus(t testing.TB, size, pivots int, seed int64) ([]string, *search.Index) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	graphs := make([]*hypergraph.Hypergraph, size)
+	names := make([]string, size)
+	for i := range graphs {
+		graphs[i] = gen.Uniform(3+rng.Intn(5), rng.Intn(5), 3, 3, 2, rng.Int63()+1)
+		names[i] = fmt.Sprintf("corpus/g%03d.hg", i)
+	}
+	ix := search.Build(graphs)
+	if pivots > 0 {
+		if _, err := ix.BuildPivots(context.Background(), pivots); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return names, ix
+}
+
+// TestCorpusSnapshotRoundTrip writes a corpus snapshot and restores it, with
+// and without a pivot section, checking that names, digests, and query
+// results come back identical — and that the restore performs zero CSR
+// freeze rebuilds, the property the whole format exists for.
+func TestCorpusSnapshotRoundTrip(t *testing.T) {
+	for _, pivots := range []int{0, 3} {
+		names, ix := snapshotCorpus(t, 24, pivots, 41)
+		var buf bytes.Buffer
+		if err := WriteCorpusSnapshot(&buf, names, ix); err != nil {
+			t.Fatalf("pivots=%d: write: %v", pivots, err)
+		}
+
+		before := hypergraph.FreezeBuilds()
+		gotNames, re, err := ReadCorpusSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("pivots=%d: read: %v", pivots, err)
+		}
+		if rebuilds := hypergraph.FreezeBuilds() - before; rebuilds != 0 {
+			t.Errorf("pivots=%d: restoring the snapshot performed %d freeze rebuilds, want 0", pivots, rebuilds)
+		}
+		if fmt.Sprint(gotNames) != fmt.Sprint(names) {
+			t.Fatalf("pivots=%d: names diverged:\n in: %v\nout: %v", pivots, names, gotNames)
+		}
+		if (re.Pivots() == nil) != (pivots == 0) {
+			t.Fatalf("pivots=%d: restored pivot table presence wrong", pivots)
+		}
+		if fmt.Sprint(re.SignatureDigests()) != fmt.Sprint(ix.SignatureDigests()) {
+			t.Fatalf("pivots=%d: digests diverged", pivots)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 4; trial++ {
+			q := gen.Uniform(3+rng.Intn(4), rng.Intn(4), 3, 3, 2, rng.Int63()+1)
+			tau := rng.Intn(6)
+			m1, s1, err1 := ix.Search(q, tau)
+			m2, s2, err2 := re.Search(q, tau)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if fmt.Sprint(m1) != fmt.Sprint(m2) || s1 != s2 {
+				t.Fatalf("pivots=%d trial %d: results diverged\n%v %+v\n%v %+v", pivots, trial, m1, s1, m2, s2)
+			}
+		}
+	}
+}
+
+// TestCorpusSnapshotFileLoaders checks that the one-read and windowed file
+// loaders agree with each other and with the stream reader, and that both
+// report the on-disk byte count.
+func TestCorpusSnapshotFileLoaders(t *testing.T) {
+	names, ix := snapshotCorpus(t, 16, 2, 99)
+	path := filepath.Join(t.TempDir(), "corpus.hgx")
+	if err := WriteCorpusSnapshotFile(path, names, ix); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n1, ix1, b1, err := ReadCorpusSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("one-read loader: %v", err)
+	}
+	n2, ix2, b2, err := ReadCorpusSnapshotFileWindowed(path)
+	if err != nil {
+		t.Fatalf("windowed loader: %v", err)
+	}
+	if b1 != fi.Size() || b2 != fi.Size() {
+		t.Errorf("loaders report %d/%d bytes, file is %d", b1, b2, fi.Size())
+	}
+	if fmt.Sprint(n1) != fmt.Sprint(names) || fmt.Sprint(n2) != fmt.Sprint(names) {
+		t.Errorf("loaders returned wrong names: %v / %v", n1, n2)
+	}
+	if fmt.Sprint(ix1.SignatureDigests()) != fmt.Sprint(ix.SignatureDigests()) ||
+		fmt.Sprint(ix2.SignatureDigests()) != fmt.Sprint(ix.SignatureDigests()) {
+		t.Error("loaders returned diverging digests")
+	}
+	q := gen.Uniform(5, 3, 3, 3, 2, 12345)
+	m1, s1, err1 := ix1.Search(q, 4)
+	m2, s2, err2 := ix2.Search(q, 4)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if fmt.Sprint(m1) != fmt.Sprint(m2) || s1 != s2 {
+		t.Fatalf("one-read and windowed loaders disagree:\n%v %+v\n%v %+v", m1, s1, m2, s2)
+	}
+}
+
+// TestCorpusSnapshotRejects checks that corruption, truncation, and trailing
+// garbage are all refused before any index is installed.
+func TestCorpusSnapshotRejects(t *testing.T) {
+	names, ix := snapshotCorpus(t, 8, 2, 5)
+	var buf bytes.Buffer
+	if err := WriteCorpusSnapshot(&buf, names, ix); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+
+	// Truncation at a spread of prefix lengths.
+	for _, cut := range []int{0, 4, 11, 19, len(wire) / 3, len(wire) / 2, len(wire) - 5, len(wire) - 1} {
+		if _, _, err := ReadCorpusSnapshot(bytes.NewReader(wire[:cut])); err == nil {
+			t.Errorf("accepted snapshot truncated to %d/%d bytes", cut, len(wire))
+		}
+	}
+	// Trailing garbage.
+	if _, _, err := ReadCorpusSnapshot(bytes.NewReader(append(append([]byte(nil), wire...), 0))); err == nil {
+		t.Error("accepted snapshot with a trailing byte")
+	}
+	// Single bit flips at a spread of offsets (CRC catches the payload,
+	// header validation catches the rest).
+	for _, pos := range []int{0, 9, 13, 17, len(wire) / 4, len(wire) / 2, 3 * len(wire) / 4, len(wire) - 2} {
+		bad := append([]byte(nil), wire...)
+		bad[pos] ^= 0x10
+		if _, _, err := ReadCorpusSnapshot(bytes.NewReader(bad)); err == nil {
+			t.Errorf("accepted snapshot with a bit flip at offset %d", pos)
+		}
+	}
+	// Windowed loader rejects the same corruption.
+	dir := t.TempDir()
+	bad := append([]byte(nil), wire...)
+	bad[len(bad)/2] ^= 1
+	path := filepath.Join(dir, "bad.hgx")
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadCorpusSnapshotFileWindowed(path); err == nil {
+		t.Error("windowed loader accepted a corrupt snapshot")
+	}
+
+	// Name-count mismatch on the write side.
+	if err := WriteCorpusSnapshot(&bytes.Buffer{}, names[:len(names)-1], ix); err == nil {
+		t.Error("writer accepted a name list shorter than the corpus")
+	}
+}
+
+// FuzzReadCorpusSnapshot checks that arbitrary bytes never panic the corpus
+// snapshot reader and that anything it accepts is internally consistent and
+// survives a write→read round trip with identical digests. The reader gates
+// everything behind the CRC trailer and search.FromSnapshot's validation,
+// so acceptance of fuzz-mutated input is itself suspicious — the round trip
+// makes sure an accepted mutant is at least a coherent corpus.
+func FuzzReadCorpusSnapshot(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(corpusSnapshotMagic))
+	for _, pivots := range []int{0, 2} {
+		names, ix := snapshotCorpus(f, 6, pivots, 31)
+		var buf bytes.Buffer
+		if err := WriteCorpusSnapshot(&buf, names, ix); err != nil {
+			f.Fatal(err)
+		}
+		wire := buf.Bytes()
+		f.Add(append([]byte(nil), wire...))
+		f.Add(append([]byte(nil), wire[:len(wire)/2]...))
+		mutant := append([]byte(nil), wire...)
+		mutant[len(mutant)/3] ^= 0x40
+		f.Add(mutant)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		names, ix, err := ReadCorpusSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(names) != ix.Len() {
+			t.Fatalf("accepted snapshot with %d names for %d graphs", len(names), ix.Len())
+		}
+		for i := 0; i < ix.Len(); i++ {
+			if verr := ix.Graph(i).Validate(); verr != nil {
+				t.Fatalf("accepted snapshot with invalid graph %d: %v", i, verr)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCorpusSnapshot(&buf, names, ix); err != nil {
+			t.Fatalf("cannot re-serialize accepted snapshot: %v", err)
+		}
+		names2, ix2, err := ReadCorpusSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if fmt.Sprint(names2) != fmt.Sprint(names) ||
+			fmt.Sprint(ix2.SignatureDigests()) != fmt.Sprint(ix.SignatureDigests()) {
+			t.Fatal("round trip changed the corpus")
+		}
+	})
+}

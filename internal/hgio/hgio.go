@@ -16,25 +16,46 @@ import (
 	"hged/internal/hypergraph"
 )
 
-// ReadFile reads a hypergraph from path, selecting the codec by extension:
-// ".hg" is the text format, ".json" the JSON encoding, ".hgb" the
-// checksummed binary CSR encoding.
+// ReadFile reads a hypergraph from path. The codec is picked by sniffing
+// the leading bytes — the "HGEDGRF1" magic selects the binary CSR encoding
+// no matter what the file is called, and for unknown extensions a leading
+// '{' selects JSON with everything else parsed as the text format — with
+// the extension (".hg" text, ".json", ".hgb" binary) as a fast path, so
+// renamed or extension-less corpus files still load.
 func ReadFile(path string) (*hypergraph.Hypergraph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	br := bufio.NewReader(f)
+	if head, _ := br.Peek(len(binaryGraphMagic)); string(head) == binaryGraphMagic {
+		return ReadBinary(br)
+	}
 	switch strings.ToLower(filepath.Ext(path)) {
 	case ".hg":
-		return ReadText(f)
+		return ReadText(br)
 	case ".json":
-		return ReadJSON(f)
+		return ReadJSON(br)
 	case ".hgb":
-		return ReadBinary(f)
-	default:
-		return nil, fmt.Errorf("hgio: %s: unknown graph extension (want .hg, .json, or .hgb)", path)
+		// Extension says binary but the magic didn't match; let ReadBinary
+		// report the precise header error.
+		return ReadBinary(br)
 	}
+	// Unknown extension: sniff the first non-whitespace byte — '{' starts
+	// the JSON encoding, anything else is handed to the text parser (which
+	// reports a line-anchored error for non-graph content).
+	head, _ := br.Peek(512)
+	for _, c := range head {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '{':
+			return ReadJSON(br)
+		}
+		break
+	}
+	return ReadText(br)
 }
 
 // WriteText writes g in the .hg format:

@@ -8,7 +8,6 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 
 	"hged/internal/pivot"
 )
@@ -156,32 +155,10 @@ func ReadPivotSnapshot(r io.Reader) (*pivot.Index, []uint64, error) {
 	return pv, digests, nil
 }
 
-// WritePivotSnapshotFile atomically writes a snapshot to path: the bytes
-// land in a temporary file in the same directory which is fsynced and
-// renamed over the target, so a crash mid-write never leaves a torn
-// snapshot at path.
+// WritePivotSnapshotFile atomically writes a snapshot to path, so a crash
+// mid-write never leaves a torn snapshot at path.
 func WritePivotSnapshotFile(path string, pv *pivot.Index, digests []uint64) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("hgio: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if err := WritePivotSnapshot(tmp, pv, digests); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("hgio: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("hgio: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("hgio: %w", err)
-	}
-	return nil
+	return writeAtomic(path, func(w io.Writer) error { return WritePivotSnapshot(w, pv, digests) })
 }
 
 // ReadPivotSnapshotFile reads a snapshot from path.

@@ -23,18 +23,23 @@ type Bipartite struct {
 
 // ToBipartite builds the bipartite incidence view of h.
 func ToBipartite(h *Hypergraph) *Bipartite {
+	n, m := h.NumNodes(), h.NumEdges()
 	b := &Bipartite{
-		NodeLabels: append([]Label(nil), h.nodeLabels...),
-		EdgeLabels: make([]Label, h.NumEdges()),
-		Adj:        make([][]NodeID, h.NumEdges()),
-		NodeAdj:    make([][]EdgeID, h.NumNodes()),
+		NodeLabels: make([]Label, n),
+		EdgeLabels: make([]Label, m),
+		Adj:        make([][]NodeID, m),
+		NodeAdj:    make([][]EdgeID, n),
 	}
-	for j, e := range h.edges {
+	for i := range b.NodeLabels {
+		b.NodeLabels[i] = h.NodeLabel(NodeID(i))
+	}
+	for j := 0; j < m; j++ {
+		e := h.Edge(EdgeID(j))
 		b.EdgeLabels[j] = e.Label
 		b.Adj[j] = append([]NodeID(nil), e.Nodes...)
 	}
-	for i, inc := range h.incidence {
-		adj := append([]EdgeID(nil), inc...)
+	for i := 0; i < n; i++ {
+		adj := append([]EdgeID(nil), h.IncidentEdges(NodeID(i))...)
 		sort.Slice(adj, func(x, y int) bool { return adj[x] < adj[y] })
 		b.NodeAdj[i] = adj
 	}

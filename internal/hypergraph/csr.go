@@ -1,6 +1,9 @@
 package hypergraph
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // Bitset is a fixed-capacity dense bit vector used for node/edge set
 // arithmetic on the hot paths (neighbor scans, ego extraction, connected
@@ -177,7 +180,18 @@ func (h *Hypergraph) frozen() *CSR {
 	return c
 }
 
+// freezeBuilds counts process-wide CSR constructions (Freeze cache misses).
+// Cold-start benchmarks and the snapshot differential tests read it to prove
+// a frozen-first load path performs zero rebuilds.
+var freezeBuilds atomic.Int64
+
+// FreezeBuilds returns the number of CSR views built by this process so far.
+// Graphs constructed frozen-first (FromFrozen) never increment it unless
+// they are mutated and re-frozen.
+func FreezeBuilds() int64 { return freezeBuilds.Load() }
+
 func (h *Hypergraph) buildCSR() *CSR {
+	freezeBuilds.Add(1)
 	n, m := len(h.nodeLabels), len(h.edges)
 	incid := 0
 	for i := range h.edges {

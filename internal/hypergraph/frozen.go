@@ -1,0 +1,224 @@
+package hypergraph
+
+import "fmt"
+
+// FromFrozen constructs a hypergraph directly in its frozen CSR form from
+// decoded flat arrays, without round-tripping through the mutable
+// slice-of-slices representation. This is the cold-start fast path used by
+// the binary graph and corpus-snapshot readers: the edge-major arrays are
+// validated, the label dictionary is normalized to the same first-seen
+// interning order Freeze would produce, and the node-major incidence arrays
+// are derived by one counting transpose. The mutable representation is
+// materialized lazily on first mutation ("thaw"); until then every accessor
+// is served from the CSR view and Freeze never rebuilds.
+//
+// Inputs: labels is the dictionary, nodeLab/edgeLab hold per-node and
+// per-hyperedge dictionary ids, and edge e's members are
+// edgeNodes[edgeOff[e]:edgeOff[e+1]], strictly ascending. All slices are
+// retained (and nodeLab/edgeLab may be rewritten in place during dictionary
+// normalization); the caller must not use them afterwards. A nil edgeOff is
+// accepted when there are no hyperedges.
+func FromFrozen(labels []Label, nodeLab, edgeLab, edgeOff []int32, edgeNodes []NodeID) (*Hypergraph, error) {
+	n, m := len(nodeLab), len(edgeLab)
+	if m == 0 && len(edgeOff) == 0 {
+		edgeOff = []int32{0}
+	}
+	if len(edgeOff) != m+1 {
+		return nil, fmt.Errorf("hypergraph: %d hyperedge offsets for %d hyperedges (want %d)", len(edgeOff), m, m+1)
+	}
+	if edgeOff[0] != 0 || int(edgeOff[m]) != len(edgeNodes) {
+		return nil, fmt.Errorf("hypergraph: hyperedge offsets span [%d,%d), want [0,%d)", edgeOff[0], edgeOff[m], len(edgeNodes))
+	}
+	// All offsets must be non-decreasing before any range is sliced; with
+	// the [0, len(edgeNodes)] endpoints pinned above, monotonicity also
+	// bounds every range.
+	for e := 0; e < m; e++ {
+		if edgeOff[e+1] < edgeOff[e] {
+			return nil, fmt.Errorf("hypergraph: hyperedge %d offsets decrease (%d > %d)", e, edgeOff[e], edgeOff[e+1])
+		}
+	}
+	for e := 0; e < m; e++ {
+		a, b := edgeOff[e], edgeOff[e+1]
+		prev := NodeID(-1)
+		for _, v := range edgeNodes[a:b] {
+			if v <= prev {
+				return nil, fmt.Errorf("hypergraph: hyperedge %d members not strictly ascending", e)
+			}
+			if int(v) >= n {
+				return nil, fmt.Errorf("hypergraph: hyperedge %d member %d out of range [0,%d)", e, v, n)
+			}
+			prev = v
+		}
+	}
+	oldL := len(labels)
+	for v, id := range nodeLab {
+		if id < 0 || int(id) >= oldL {
+			return nil, fmt.Errorf("hypergraph: node %d label id %d out of range [0,%d)", v, id, oldL)
+		}
+	}
+	for e, id := range edgeLab {
+		if id < 0 || int(id) >= oldL {
+			return nil, fmt.Errorf("hypergraph: hyperedge %d label id %d out of range [0,%d)", e, id, oldL)
+		}
+	}
+
+	// Normalize the dictionary to first-seen interning order (node labels by
+	// id, then hyperedge labels by id) so graphs decoded from foreign files
+	// intern identically to buildCSR: signature digests and snapshot
+	// compatibility checks depend on this canonical order. Duplicate and
+	// unused dictionary entries collapse away here.
+	remap := make([]int32, oldL)
+	for i := range remap {
+		remap[i] = -1
+	}
+	labelID := make(map[Label]int32, oldL)
+	dict := make([]Label, 0, oldL)
+	assign := func(old int32) int32 {
+		id := remap[old]
+		if id >= 0 {
+			return id
+		}
+		l := labels[old]
+		id, ok := labelID[l]
+		if !ok {
+			id = int32(len(dict))
+			dict = append(dict, l)
+			labelID[l] = id
+		}
+		remap[old] = id
+		return id
+	}
+	for i, old := range nodeLab {
+		nodeLab[i] = assign(old)
+	}
+	for i, old := range edgeLab {
+		edgeLab[i] = assign(old)
+	}
+
+	// Counting transpose: derive the node-major incidence arrays from the
+	// edge-major ones. Scattering in ascending hyperedge order makes every
+	// node's incident-edge list ascending by construction, matching what
+	// AddEdge-then-Freeze produces.
+	nodeOff := make([]int32, n+1)
+	for _, v := range edgeNodes {
+		nodeOff[v+1]++
+	}
+	for v := 0; v < n; v++ {
+		nodeOff[v+1] += nodeOff[v]
+	}
+	nodeEdges := make([]EdgeID, len(edgeNodes))
+	next := make([]int32, n)
+	copy(next, nodeOff[:n])
+	for e := 0; e < m; e++ {
+		for _, v := range edgeNodes[edgeOff[e]:edgeOff[e+1]] {
+			nodeEdges[next[v]] = EdgeID(e)
+			next[v]++
+		}
+	}
+
+	h := &Hypergraph{csr: &CSR{
+		nodeOff:   nodeOff,
+		nodeEdges: nodeEdges,
+		edgeOff:   edgeOff,
+		edgeNodes: edgeNodes,
+		nodeLab:   nodeLab,
+		edgeLab:   edgeLab,
+		labels:    dict,
+		labelID:   labelID,
+	}}
+	h.lazy.Store(true)
+	return h, nil
+}
+
+// lazyCSR returns the CSR backing a frozen-first graph, or nil when the
+// mutable representation is authoritative. Accessors branch on it so reads
+// of a FromFrozen graph never materialize anything.
+func (h *Hypergraph) lazyCSR() *CSR {
+	if h.lazy.Load() {
+		return h.csr
+	}
+	return nil
+}
+
+// thaw materializes the mutable representation of a frozen-first graph.
+// It is a no-op for graphs built through the mutable constructors. The CSR
+// view is kept — the graph content is unchanged, so Freeze stays memoized.
+func (h *Hypergraph) thaw() {
+	if !h.lazy.Load() {
+		return
+	}
+	h.egoMu.Lock()
+	if h.lazy.Load() {
+		h.materializeLocked()
+		h.lazy.Store(false)
+	}
+	h.egoMu.Unlock()
+}
+
+// materializeLocked fills nodeLabels/edges/incidence from the CSR view.
+// Caller holds egoMu. The hyperedge node lists and incidence lists alias the
+// CSR arrays through capacity-capped subslices: any append reallocates, so
+// later mutations can never clobber a neighboring range (or a CSR shared
+// with a lazy Clone).
+func (h *Hypergraph) materializeLocked() {
+	c := h.csr
+	n, m := c.NumNodes(), c.NumEdges()
+	h.nodeLabels = make([]Label, n)
+	for v := 0; v < n; v++ {
+		h.nodeLabels[v] = c.labels[c.nodeLab[v]]
+	}
+	h.edges = make([]Hyperedge, m)
+	for e := 0; e < m; e++ {
+		a, b := c.edgeOff[e], c.edgeOff[e+1]
+		h.edges[e] = Hyperedge{Label: c.labels[c.edgeLab[e]], Nodes: c.edgeNodes[a:b:b]}
+	}
+	h.incidence = make([][]EdgeID, n)
+	for v := 0; v < n; v++ {
+		a, b := c.nodeOff[v], c.nodeOff[v+1]
+		h.incidence[v] = c.nodeEdges[a:b:b]
+	}
+}
+
+// validateFrozen checks the structural invariants of a frozen-first graph
+// directly on the CSR arrays, so Validate on an untouched FromFrozen graph
+// allocates nothing and never thaws: offsets monotone and spanning, members
+// strictly ascending and in range, incidence an exact transpose.
+func (h *Hypergraph) validateFrozen(c *CSR) error {
+	n, m := c.NumNodes(), c.NumEdges()
+	if len(c.nodeOff) != n+1 || len(c.edgeOff) != m+1 {
+		return fmt.Errorf("hypergraph: frozen offset lengths %d/%d for n=%d m=%d", len(c.nodeOff), len(c.edgeOff), n, m)
+	}
+	for e := 0; e < m; e++ {
+		a, b := c.edgeOff[e], c.edgeOff[e+1]
+		if a < 0 || b < a || int(b) > len(c.edgeNodes) {
+			return fmt.Errorf("hypergraph: frozen hyperedge %d offsets [%d,%d) invalid", e, a, b)
+		}
+		prev := NodeID(-1)
+		for _, v := range c.edgeNodes[a:b] {
+			if v <= prev || int(v) >= n {
+				return fmt.Errorf("hypergraph: frozen hyperedge %d members not sorted/unique/in range", e)
+			}
+			prev = v
+		}
+	}
+	for v := 0; v < n; v++ {
+		a, b := c.nodeOff[v], c.nodeOff[v+1]
+		if a < 0 || b < a || int(b) > len(c.nodeEdges) {
+			return fmt.Errorf("hypergraph: frozen node %d offsets [%d,%d) invalid", v, a, b)
+		}
+		prev := EdgeID(-1)
+		for _, e := range c.nodeEdges[a:b] {
+			if e <= prev || int(e) >= m {
+				return fmt.Errorf("hypergraph: frozen node %d incident edges not sorted/unique/in range", v)
+			}
+			if !(Hyperedge{Nodes: c.Members(e)}).Contains(NodeID(v)) {
+				return fmt.Errorf("hypergraph: frozen node %d listed incident to edge %d but not a member", v, e)
+			}
+			prev = e
+		}
+	}
+	if int(c.nodeOff[n]) != len(c.nodeEdges) || len(c.nodeEdges) != len(c.edgeNodes) {
+		return fmt.Errorf("hypergraph: frozen incidence counts disagree (%d node-major, %d edge-major)", c.nodeOff[n], c.edgeOff[m])
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// frozenTwin rebuilds g frozen-first from copies of its CSR arrays, the way
+// the binary reader does.
+func frozenTwin(t *testing.T, g *Hypergraph) *Hypergraph {
+	t.Helper()
+	c := g.Freeze()
+	tw, err := FromFrozen(
+		append([]Label(nil), c.labels...),
+		append([]int32(nil), c.nodeLab...),
+		append([]int32(nil), c.edgeLab...),
+		append([]int32(nil), c.edgeOff...),
+		append([]NodeID(nil), c.edgeNodes...),
+	)
+	if err != nil {
+		t.Fatalf("FromFrozen: %v", err)
+	}
+	return tw
+}
+
+// compareGraphs checks that every accessor of a and b agrees, including the
+// interned dictionaries their Freeze views expose (signature digests depend
+// on those being identical).
+func compareGraphs(t *testing.T, ctx string, a, b *Hypergraph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("%s: size mismatch (%d,%d) vs (%d,%d)", ctx, a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		id := NodeID(v)
+		if a.NodeLabel(id) != b.NodeLabel(id) {
+			t.Fatalf("%s: node %d label %d vs %d", ctx, v, a.NodeLabel(id), b.NodeLabel(id))
+		}
+		if a.Degree(id) != b.Degree(id) {
+			t.Fatalf("%s: node %d degree %d vs %d", ctx, v, a.Degree(id), b.Degree(id))
+		}
+		if fmt.Sprint(a.IncidentEdges(id)) != fmt.Sprint(b.IncidentEdges(id)) {
+			t.Fatalf("%s: node %d incidence %v vs %v", ctx, v, a.IncidentEdges(id), b.IncidentEdges(id))
+		}
+		if fmt.Sprint(a.Neighbors(id)) != fmt.Sprint(b.Neighbors(id)) {
+			t.Fatalf("%s: node %d neighbors differ", ctx, v)
+		}
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		ea, eb := a.Edge(EdgeID(e)), b.Edge(EdgeID(e))
+		if ea.Label != eb.Label || fmt.Sprint(ea.Nodes) != fmt.Sprint(eb.Nodes) {
+			t.Fatalf("%s: edge %d %v@%d vs %v@%d", ctx, e, ea.Nodes, ea.Label, eb.Nodes, eb.Label)
+		}
+	}
+	if a.String() != b.String() {
+		t.Fatalf("%s: String %q vs %q", ctx, a, b)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("%s: a invalid: %v", ctx, err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("%s: b invalid: %v", ctx, err)
+	}
+	ca, cb := a.Freeze(), b.Freeze()
+	if fmt.Sprint(ca.labels) != fmt.Sprint(cb.labels) {
+		t.Fatalf("%s: dictionaries %v vs %v", ctx, ca.labels, cb.labels)
+	}
+	if fmt.Sprint(ca.nodeLab) != fmt.Sprint(cb.nodeLab) || fmt.Sprint(ca.edgeLab) != fmt.Sprint(cb.edgeLab) {
+		t.Fatalf("%s: interned label ids diverge", ctx)
+	}
+}
+
+// TestFrozenFirstMatchesMapsBuilt checks that a FromFrozen graph is
+// indistinguishable from its maps-built original through every accessor —
+// without ever thawing (reads and Freeze on the twin must not build a CSR).
+func TestFrozenFirstMatchesMapsBuilt(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		g := genGraph(seed)
+		tw := frozenTwin(t, g)
+		before := FreezeBuilds()
+		compareGraphs(t, fmt.Sprintf("seed %d", seed), g, tw)
+		if !tw.lazy.Load() {
+			t.Fatalf("seed %d: read-only accessors thawed the twin", seed)
+		}
+		// compareGraphs froze only g-side views that were already memoized;
+		// the twin side must not have rebuilt anything.
+		if d := FreezeBuilds() - before; d != 0 {
+			t.Fatalf("seed %d: %d CSR builds during read-only comparison", seed, d)
+		}
+	}
+}
+
+// TestThawOnMutate applies identical mutation scripts to a maps-built graph
+// and its frozen-first twin: the first mutation must thaw the twin, and the
+// two must stay convergent after every step.
+func TestThawOnMutate(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		g := genGraph(seed)
+		tw := frozenTwin(t, g)
+		rng := rand.New(rand.NewSource(seed ^ 0x7a3))
+		for step := 0; step < 12; step++ {
+			switch op := rng.Intn(4); op {
+			case 0:
+				l := Label(1 + rng.Intn(5))
+				g.AddNode(l)
+				tw.AddNode(l)
+			case 1:
+				n := g.NumNodes()
+				k := rng.Intn(n) + 1
+				nodes := make([]NodeID, 0, k)
+				for _, v := range rng.Perm(n)[:k] {
+					nodes = append(nodes, NodeID(v))
+				}
+				l := Label(10 + rng.Intn(3))
+				g.AddEdge(l, nodes...)
+				tw.AddEdge(l, nodes...)
+			case 2:
+				v := NodeID(rng.Intn(g.NumNodes()))
+				l := Label(1 + rng.Intn(5))
+				g.SetNodeLabel(v, l)
+				tw.SetNodeLabel(v, l)
+			case 3:
+				if g.NumEdges() > 0 {
+					e := EdgeID(rng.Intn(g.NumEdges()))
+					l := Label(10 + rng.Intn(3))
+					g.SetEdgeLabel(e, l)
+					tw.SetEdgeLabel(e, l)
+				}
+			}
+			if tw.lazy.Load() && step == 0 && g.NumEdges() > 0 {
+				// op 3 on an edgeless graph is the only no-op path
+				t.Fatalf("seed %d: first mutation did not thaw", seed)
+			}
+			compareGraphs(t, fmt.Sprintf("seed %d step %d", seed, step), g, tw)
+		}
+		if tw.lazy.Load() {
+			t.Fatalf("seed %d: twin still lazy after mutation script", seed)
+		}
+	}
+}
+
+// TestLazyCloneIndependent checks that the O(1) clone of a frozen-first
+// graph shares storage safely: mutating either copy leaves the other as it
+// was.
+func TestLazyCloneIndependent(t *testing.T) {
+	g := genGraph(42)
+	tw := frozenTwin(t, g)
+	cl := tw.Clone()
+	if !cl.lazy.Load() {
+		t.Fatal("clone of a lazy graph should stay lazy")
+	}
+	want := tw.String()
+	cl.AddEdge(Label(99), 0)
+	cl.SetNodeLabel(0, 77)
+	if tw.String() != want {
+		t.Fatalf("mutating clone changed original:\n  was %s\n  now %s", want, tw)
+	}
+	if err := tw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want = cl.String()
+	tw.AddNode(5)
+	if cl.String() != want {
+		t.Fatal("mutating original changed clone")
+	}
+}
+
+// TestFromFrozenNormalizesDictionary feeds FromFrozen a dictionary with
+// shuffled, duplicate and unused entries; the result must intern identically
+// to a maps-built equivalent, since digests and snapshots depend on the
+// first-seen canonical order.
+func TestFromFrozenNormalizesDictionary(t *testing.T) {
+	// Nodes labeled [7, 3, 7], one edge {0,1} labeled 9, via a messy dict:
+	// entries [99 (unused), 3, 7, 9, 7 (duplicate)].
+	dict := []Label{99, 3, 7, 9, 7}
+	tw, err := FromFrozen(dict, []int32{4, 1, 2}, []int32{3}, []int32{0, 2}, []NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewLabeled([]Label{7, 3, 7})
+	g.AddEdge(9, 0, 1)
+	compareGraphs(t, "normalized dict", g, tw)
+	if got := tw.Freeze().Labels(); fmt.Sprint(got) != fmt.Sprint([]Label{7, 3, 9}) {
+		t.Fatalf("dictionary not normalized to first-seen order: %v", got)
+	}
+}
+
+// TestFromFrozenRejects checks reject-before-construct on malformed arrays.
+func TestFromFrozenRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		labels  []Label
+		nodeLab []int32
+		edgeLab []int32
+		edgeOff []int32
+		members []NodeID
+	}{
+		{"offset count", []Label{1}, []int32{0, 0}, []int32{0}, []int32{0}, nil},
+		{"offset span", []Label{1}, []int32{0, 0}, []int32{0}, []int32{0, 3}, []NodeID{0, 1}},
+		{"offsets decrease", []Label{1}, []int32{0, 0}, []int32{0, 0}, []int32{0, 2, 1}, []NodeID{0, 1}[:1]},
+		{"member out of range", []Label{1}, []int32{0, 0}, []int32{0}, []int32{0, 1}, []NodeID{2}},
+		{"members descending", []Label{1}, []int32{0, 0}, []int32{0}, []int32{0, 2}, []NodeID{1, 0}},
+		{"members duplicate", []Label{1}, []int32{0, 0}, []int32{0}, []int32{0, 2}, []NodeID{1, 1}},
+		{"node label id", []Label{1}, []int32{0, 1}, []int32{0}, []int32{0, 0}, nil},
+		{"edge label id", []Label{1}, []int32{0, 0}, []int32{-1}, []int32{0, 0}, nil},
+	}
+	for _, tc := range cases {
+		if _, err := FromFrozen(tc.labels, tc.nodeLab, tc.edgeLab, tc.edgeOff, tc.members); err == nil {
+			t.Errorf("%s: accepted malformed input", tc.name)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node within a hypergraph. IDs are dense: a hypergraph
@@ -96,6 +97,14 @@ type Hypergraph struct {
 	egoMu    sync.RWMutex
 	egoCache map[NodeID]*Hypergraph
 	csr      *CSR
+	// lazy marks a graph constructed frozen-first (FromFrozen): csr is the
+	// authoritative representation and nodeLabels/edges/incidence are nil
+	// until the first mutation thaws them. The flag flips true→false exactly
+	// once, under egoMu, after the mutable fields are materialized; readers
+	// load it with acquire semantics so a false observation implies the
+	// materialized fields are visible. As everywhere in this type, mutation
+	// concurrent with reads requires external exclusivity.
+	lazy atomic.Bool
 }
 
 // New returns an empty hypergraph with n unlabeled nodes.
@@ -115,10 +124,20 @@ func NewLabeled(labels []Label) *Hypergraph {
 }
 
 // NumNodes returns |V|.
-func (h *Hypergraph) NumNodes() int { return len(h.nodeLabels) }
+func (h *Hypergraph) NumNodes() int {
+	if c := h.lazyCSR(); c != nil {
+		return c.NumNodes()
+	}
+	return len(h.nodeLabels)
+}
 
 // NumEdges returns |E|.
-func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+func (h *Hypergraph) NumEdges() int {
+	if c := h.lazyCSR(); c != nil {
+		return c.NumEdges()
+	}
+	return len(h.edges)
+}
 
 // AddNode appends a node with the given label and returns its id.
 func (h *Hypergraph) AddNode(l Label) NodeID {
@@ -176,7 +195,12 @@ func dedupSorted(ns []NodeID) []NodeID {
 }
 
 // NodeLabel returns l(v).
-func (h *Hypergraph) NodeLabel(v NodeID) Label { return h.nodeLabels[v] }
+func (h *Hypergraph) NodeLabel(v NodeID) Label {
+	if c := h.lazyCSR(); c != nil {
+		return c.labels[c.nodeLab[v]]
+	}
+	return h.nodeLabels[v]
+}
 
 // SetNodeLabel sets l(v).
 func (h *Hypergraph) SetNodeLabel(v NodeID, l Label) {
@@ -185,7 +209,12 @@ func (h *Hypergraph) SetNodeLabel(v NodeID, l Label) {
 }
 
 // EdgeLabel returns l(E).
-func (h *Hypergraph) EdgeLabel(e EdgeID) Label { return h.edges[e].Label }
+func (h *Hypergraph) EdgeLabel(e EdgeID) Label {
+	if c := h.lazyCSR(); c != nil {
+		return c.labels[c.edgeLab[e]]
+	}
+	return h.edges[e].Label
+}
 
 // SetEdgeLabel sets l(E).
 func (h *Hypergraph) SetEdgeLabel(e EdgeID, l Label) {
@@ -195,19 +224,40 @@ func (h *Hypergraph) SetEdgeLabel(e EdgeID, l Label) {
 
 // Edge returns the hyperedge with id e. The returned value shares its node
 // slice with the hypergraph; callers must not mutate it.
-func (h *Hypergraph) Edge(e EdgeID) Hyperedge { return h.edges[e] }
+func (h *Hypergraph) Edge(e EdgeID) Hyperedge {
+	if c := h.lazyCSR(); c != nil {
+		a, b := c.edgeOff[e], c.edgeOff[e+1]
+		return Hyperedge{Label: c.labels[c.edgeLab[e]], Nodes: c.edgeNodes[a:b:b]}
+	}
+	return h.edges[e]
+}
 
 // Edges returns all hyperedges. The slice and the contained node lists are
-// shared with the hypergraph; callers must not mutate them.
-func (h *Hypergraph) Edges() []Hyperedge { return h.edges }
+// shared with the hypergraph; callers must not mutate them. On a
+// frozen-first graph this materializes the mutable representation.
+func (h *Hypergraph) Edges() []Hyperedge {
+	h.thaw()
+	return h.edges
+}
 
 // IncidentEdges returns the ids of hyperedges containing v. The returned
 // slice is shared with the hypergraph; callers must not mutate it.
-func (h *Hypergraph) IncidentEdges(v NodeID) []EdgeID { return h.incidence[v] }
+func (h *Hypergraph) IncidentEdges(v NodeID) []EdgeID {
+	if c := h.lazyCSR(); c != nil {
+		a, b := c.nodeOff[v], c.nodeOff[v+1]
+		return c.nodeEdges[a:b:b]
+	}
+	return h.incidence[v]
+}
 
 // Degree returns DEG(v) = |{E : v ∈ E}|, the number of hyperedges containing
 // v.
-func (h *Hypergraph) Degree(v NodeID) int { return len(h.incidence[v]) }
+func (h *Hypergraph) Degree(v NodeID) int {
+	if c := h.lazyCSR(); c != nil {
+		return c.Degree(v)
+	}
+	return len(h.incidence[v])
+}
 
 // Neighbors returns NEI(v) = {v} ∪ {u : ∃E, {u,v} ⊆ E}, sorted ascending.
 // Per Definition 1 of the paper, the set always includes v itself.
@@ -250,7 +300,7 @@ func (h *Hypergraph) InducedSubgraph(s []NodeID) *Hypergraph {
 	labels := make([]Label, len(sorted))
 	for i, v := range sorted {
 		remap[v] = NodeID(i)
-		labels[i] = h.nodeLabels[v]
+		labels[i] = h.NodeLabel(v)
 	}
 	sub := NewLabeled(labels)
 	sub.origIDs = make([]NodeID, len(sorted))
@@ -263,13 +313,13 @@ func (h *Hypergraph) InducedSubgraph(s []NodeID) *Hypergraph {
 	// in ascending id order without a sort.
 	seen := NewBitset(h.NumEdges())
 	for _, v := range sorted {
-		for _, e := range h.incidence[v] {
+		for _, e := range h.IncidentEdges(v) {
 			seen.Add(int(e))
 		}
 	}
 	mapped := make([]NodeID, 0, 16)
 	seen.ForEach(func(ei int) {
-		edge := h.edges[ei]
+		edge := h.Edge(EdgeID(ei))
 		mapped = mapped[:0]
 		for _, u := range edge.Nodes {
 			nu, ok := remap[u]
@@ -323,8 +373,15 @@ func (h *Hypergraph) Ego(v NodeID) *Hypergraph {
 
 // invalidateDerived discards the derived read-only views — memoized egos
 // and the frozen CSR — on any mutation; both rebuild lazily on next use.
+// A frozen-first graph thaws here: every mutator calls invalidateDerived
+// before touching the mutable fields, so materializing under the same lock
+// acquisition makes "first mutation" the exact thaw point.
 func (h *Hypergraph) invalidateDerived() {
 	h.egoMu.Lock()
+	if h.lazy.Load() {
+		h.materializeLocked()
+		h.lazy.Store(false)
+	}
 	if len(h.egoCache) > 0 {
 		clear(h.egoCache)
 	}
@@ -332,8 +389,20 @@ func (h *Hypergraph) invalidateDerived() {
 	h.egoMu.Unlock()
 }
 
-// Clone returns a deep copy of the hypergraph.
+// Clone returns a deep copy of the hypergraph. Cloning a frozen-first graph
+// is O(1): the clone shares the immutable CSR view and stays lazy; either
+// instance materializes its own mutable representation on first mutation
+// (capacity-capped subslices make appends reallocate), so the copies stay
+// independent under the package's mutation API.
 func (h *Hypergraph) Clone() *Hypergraph {
+	if frozen := h.lazyCSR(); frozen != nil {
+		c := &Hypergraph{csr: frozen}
+		if h.origIDs != nil {
+			c.origIDs = append([]NodeID(nil), h.origIDs...)
+		}
+		c.lazy.Store(true)
+		return c
+	}
 	c := &Hypergraph{
 		nodeLabels: append([]Label(nil), h.nodeLabels...),
 		edges:      make([]Hyperedge, len(h.edges)),
@@ -353,8 +422,12 @@ func (h *Hypergraph) Clone() *Hypergraph {
 
 // Validate checks structural invariants: hyperedge node lists sorted, unique
 // and in range, and incidence lists consistent with edges. It returns the
-// first violation found, or nil.
+// first violation found, or nil. A frozen-first graph is checked directly on
+// its CSR arrays without thawing.
 func (h *Hypergraph) Validate() error {
+	if c := h.lazyCSR(); c != nil {
+		return h.validateFrozen(c)
+	}
 	n := len(h.nodeLabels)
 	if len(h.incidence) != n {
 		return fmt.Errorf("hypergraph: incidence length %d != node count %d", len(h.incidence), n)
@@ -391,7 +464,8 @@ func (h *Hypergraph) Validate() error {
 // "H(n=3,m=2){0:[0 1]@1 1:[1 2]@2}".
 func (h *Hypergraph) String() string {
 	s := fmt.Sprintf("H(n=%d,m=%d){", h.NumNodes(), h.NumEdges())
-	for i, e := range h.edges {
+	for i := 0; i < h.NumEdges(); i++ {
+		e := h.Edge(EdgeID(i))
 		if i > 0 {
 			s += " "
 		}

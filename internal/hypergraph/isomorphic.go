@@ -17,7 +17,7 @@ func Isomorphic(g, h *Hypergraph) bool {
 		return edgeMultisetEqual(g, h)
 	}
 	// Quick invariant screens.
-	if !labelMultisetEqual(g.nodeLabels, h.nodeLabels) {
+	if !labelMultisetEqual(g, h) {
 		return false
 	}
 	if !degreeSequenceEqual(g, h) {
@@ -36,7 +36,7 @@ func Isomorphic(g, h *Hypergraph) bool {
 	candidates := make([][]NodeID, n)
 	for v := 0; v < n; v++ {
 		for u := 0; u < n; u++ {
-			if g.nodeLabels[v] == h.nodeLabels[u] && g.Degree(NodeID(v)) == h.Degree(NodeID(u)) {
+			if g.NodeLabel(NodeID(v)) == h.NodeLabel(NodeID(u)) && g.Degree(NodeID(v)) == h.Degree(NodeID(u)) {
 				candidates[v] = append(candidates[v], NodeID(u))
 			}
 		}
@@ -81,15 +81,17 @@ func Isomorphic(g, h *Hypergraph) bool {
 	return rec(0)
 }
 
-func labelMultisetEqual(a, b []Label) bool {
-	if len(a) != len(b) {
+func labelMultisetEqual(g, h *Hypergraph) bool {
+	n := g.NumNodes()
+	if n != h.NumNodes() {
 		return false
 	}
-	counts := make(map[Label]int, len(a))
-	for _, l := range a {
-		counts[l]++
+	counts := make(map[Label]int, n)
+	for v := 0; v < n; v++ {
+		counts[g.NodeLabel(NodeID(v))]++
 	}
-	for _, l := range b {
+	for v := 0; v < n; v++ {
+		l := h.NodeLabel(NodeID(v))
 		counts[l]--
 		if counts[l] < 0 {
 			return false
@@ -117,8 +119,8 @@ func degreeSequenceEqual(g, h *Hypergraph) bool {
 
 func cardinalities(g *Hypergraph) []int {
 	cs := make([]int, g.NumEdges())
-	for i, e := range g.edges {
-		cs[i] = len(e.Nodes)
+	for i := range cs {
+		cs[i] = g.Edge(EdgeID(i)).Arity()
 	}
 	sort.Ints(cs)
 	return cs
@@ -133,7 +135,8 @@ func edgesMatch(g, h *Hypergraph, mapping []NodeID) bool {
 	slots := make(map[string]int, h.NumEdges())
 	counts := make([]int, 0, h.NumEdges())
 	kbuf := make([]byte, 0, 64)
-	for _, e := range h.edges {
+	for j := 0; j < h.NumEdges(); j++ {
+		e := h.Edge(EdgeID(j))
 		kbuf = e.AppendKey(appendVarint(kbuf[:0], uint32(e.Label)))
 		if slot, ok := slots[string(kbuf)]; ok {
 			counts[slot]++
@@ -143,7 +146,8 @@ func edgesMatch(g, h *Hypergraph, mapping []NodeID) bool {
 		}
 	}
 	buf := make([]NodeID, 0, 16)
-	for _, e := range g.edges {
+	for j := 0; j < g.NumEdges(); j++ {
+		e := g.Edge(EdgeID(j))
 		buf = buf[:0]
 		for _, v := range e.Nodes {
 			buf = append(buf, mapping[v])

@@ -75,8 +75,8 @@ func DegreeHistogram(h *Hypergraph) map[int]int {
 // hyperedges with that cardinality.
 func EdgeSizeHistogram(h *Hypergraph) map[int]int {
 	hist := make(map[int]int)
-	for _, e := range h.edges {
-		hist[len(e.Nodes)]++
+	for i := 0; i < h.NumEdges(); i++ {
+		hist[h.Edge(EdgeID(i)).Arity()]++
 	}
 	return hist
 }

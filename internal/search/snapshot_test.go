@@ -1,0 +1,94 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hged/internal/gen"
+)
+
+// TestSnapshotRoundTrip restores an index from its own snapshot and checks
+// that matches and FilterStats for range and kNN queries are identical to
+// the original, with and without an attached pivot table.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, pivots := range []int{0, 4} {
+		graphs := corpus(36, 17)
+		ix := Build(graphs)
+		if pivots > 0 {
+			if _, err := ix.BuildPivots(context.Background(), pivots); err != nil {
+				t.Fatal(err)
+			}
+		}
+		re, err := FromSnapshot(graphs, ix.Snapshot())
+		if err != nil {
+			t.Fatalf("pivots=%d: FromSnapshot: %v", pivots, err)
+		}
+		if (re.Pivots() == nil) != (pivots == 0) {
+			t.Fatalf("pivots=%d: restored pivot table presence wrong", pivots)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for trial := 0; trial < 6; trial++ {
+			q := gen.Uniform(3+rng.Intn(4), rng.Intn(4), 3, 3, 2, rng.Int63()+1)
+			tau := rng.Intn(7)
+			m1, s1, err1 := ix.Search(q, tau)
+			m2, s2, err2 := re.Search(q, tau)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if fmt.Sprint(m1) != fmt.Sprint(m2) || s1 != s2 {
+				t.Fatalf("pivots=%d trial %d: range diverged\n%v %+v\n%v %+v", pivots, trial, m1, s1, m2, s2)
+			}
+			k := 1 + rng.Intn(5)
+			m1, s1, err1 = ix.Nearest(q, k)
+			m2, s2, err2 = re.Nearest(q, k)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if fmt.Sprint(m1) != fmt.Sprint(m2) || s1 != s2 {
+				t.Fatalf("pivots=%d trial %d: kNN diverged\n%v %+v\n%v %+v", pivots, trial, m1, s1, m2, s2)
+			}
+		}
+		if fmt.Sprint(ix.SignatureDigests()) != fmt.Sprint(re.SignatureDigests()) {
+			t.Fatalf("pivots=%d: digests diverged", pivots)
+		}
+	}
+}
+
+// TestFromSnapshotRejects checks that corpus mismatches and inconsistent
+// tables are refused rather than installed.
+func TestFromSnapshotRejects(t *testing.T) {
+	graphs := corpus(12, 5)
+	ix := Build(graphs)
+	s := ix.Snapshot()
+
+	if _, err := FromSnapshot(graphs[:11], s); err == nil {
+		t.Error("accepted snapshot over a shorter corpus")
+	}
+	other := corpus(12, 6)
+	if _, err := FromSnapshot(other, s); err == nil {
+		t.Error("accepted snapshot against a different corpus")
+	}
+
+	tamper := *s
+	tamper.Digests = append([]uint64(nil), s.Digests...)
+	tamper.Digests[3] ^= 1
+	if _, err := FromSnapshot(graphs, &tamper); err == nil {
+		t.Error("accepted snapshot with a tampered digest")
+	}
+
+	tamper = *s
+	tamper.Incid = append([]int32(nil), s.Incid...)
+	tamper.Incid[0]++
+	if _, err := FromSnapshot(graphs, &tamper); err == nil {
+		t.Error("accepted snapshot with an inconsistent incid column")
+	}
+
+	tamper = *s
+	tamper.CardOff = append([]int32(nil), s.CardOff...)
+	tamper.CardOff[1] = -1
+	if _, err := FromSnapshot(graphs, &tamper); err == nil {
+		t.Error("accepted snapshot with decreasing offsets")
+	}
+}

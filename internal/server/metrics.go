@@ -73,6 +73,14 @@ type Metrics struct {
 	pivotCount        int
 	pivotSource       string
 	pivotBoundLatency *histogram
+
+	// corpus cold-start provenance: how the serving corpus came to be
+	// ("hgx" restored from a snapshot, "rebuilt" built from source files,
+	// "none" before either), how long that took, and the snapshot size.
+	snapSource string
+	snapLoadNs int64
+	snapBytes  int64
+	snapGraphs int
 }
 
 func newMetrics() *Metrics {
@@ -81,6 +89,7 @@ func newMetrics() *Metrics {
 		searchLatency:     newHistogram(),
 		pivotSource:       "none",
 		pivotBoundLatency: newHistogram(),
+		snapSource:        "none",
 	}
 }
 
@@ -163,6 +172,19 @@ func (m *Metrics) pivotBound(d time.Duration) {
 	m.mu.Unlock()
 }
 
+// snapshotLoaded records how the serving corpus was cold-started: restored
+// from a .hgx snapshot ("hgx") or rebuilt from source files ("rebuilt"),
+// with the time it took, the snapshot's on-disk size (0 when rebuilt
+// without persisting), and the corpus size.
+func (m *Metrics) snapshotLoaded(source string, d time.Duration, bytes int64, graphs int) {
+	m.mu.Lock()
+	m.snapSource = source
+	m.snapLoadNs = d.Nanoseconds()
+	m.snapBytes = bytes
+	m.snapGraphs = graphs
+	m.mu.Unlock()
+}
+
 // MetricsSnapshot is the JSON shape served by GET /metrics.
 type MetricsSnapshot struct {
 	// Requests maps "METHOD /pattern" to per-status counts and latency.
@@ -213,6 +235,16 @@ type MetricsSnapshot struct {
 		BoundComputations int64      `json:"boundComputations"`
 		BoundLatency      *histogram `json:"boundLatency"`
 	} `json:"pivot"`
+	// Snapshot reports corpus cold-start provenance: whether the serving
+	// corpus was restored from a .hgx snapshot ("hgx"), rebuilt from
+	// source files ("rebuilt"), or neither yet ("none"), how long the
+	// restore or rebuild took, and the snapshot's on-disk size.
+	Snapshot struct {
+		Source string `json:"source"`
+		LoadNs int64  `json:"loadNs"`
+		Bytes  int64  `json:"bytes"`
+		Graphs int    `json:"graphs"`
+	} `json:"snapshot"`
 	// SolverPool reports the process-wide pooled-solver reuse rate: hits
 	// are acquisitions served by a warm Solver, misses allocated fresh.
 	SolverPool struct {
@@ -268,6 +300,10 @@ func (m *Metrics) snapshot(reg *Registry, jobs *JobManager) MetricsSnapshot {
 	snap.Pivot.BoundLatency = newHistogram()
 	copy(snap.Pivot.BoundLatency.Counts, m.pivotBoundLatency.Counts)
 	snap.Pivot.BoundLatency.SumMS, snap.Pivot.BoundLatency.Count = m.pivotBoundLatency.SumMS, m.pivotBoundLatency.Count
+	snap.Snapshot.Source = m.snapSource
+	snap.Snapshot.LoadNs = m.snapLoadNs
+	snap.Snapshot.Bytes = m.snapBytes
+	snap.Snapshot.Graphs = m.snapGraphs
 	m.mu.Unlock()
 
 	if reg != nil {

@@ -55,6 +55,13 @@ type Config struct {
 	// persisted at: InitSearchIndex loads it when it matches the corpus
 	// (skipping the build) and writes it after building otherwise.
 	IndexSnapshot string
+	// CorpusSnapshot, when non-empty, is the path of the combined
+	// corpus+index snapshot (.hgx): LoadCorpusSnapshot restores the whole
+	// registry and search index from it in one shot (graphs land directly
+	// in their frozen CSR form — no parse, no re-freeze), and
+	// SaveCorpusSnapshot persists the current corpus there so the next
+	// start skips the rebuild.
+	CorpusSnapshot string
 	// Logger receives one structured line per request. Nil discards.
 	Logger *log.Logger
 }
