@@ -632,6 +632,44 @@ func suite() []benchmark {
 				b.Fatalf("cold start from .hgx performed %d freeze rebuilds over %d ops, want 0", builds, b.N)
 			}
 		}},
+		// The Stream group measures the MVCC streaming-update path on the
+		// hyperedge-copying growth workload: publishing generations through
+		// copy-on-write batches, and keeping the search index fresh
+		// incrementally (one signature row recomputed, the rest copied)
+		// versus the stop-the-world from-scratch rebuild it replaces.
+		{"Stream/mvcc-commit", func(b *testing.B) {
+			seed, steps := growthWorkload()
+			var published int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				v := hypergraph.NewVersioned(seed.Clone()) // O(1): seed is frozen
+				b.StartTimer()
+				published += applyGrowthMVCC(v, steps, 4)
+			}
+			b.ReportMetric(float64(published)/float64(b.N), "generations/op")
+		}},
+		{"Stream/index-incremental", func(b *testing.B) {
+			corpus, prev, reuse := streamIndexWorkload()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				search.BuildReusing(corpus, prev, reuse)
+			}
+		}},
+		{"Stream/index-full", func(b *testing.B) {
+			corpus, _, _ := streamIndexWorkload()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				search.Build(corpus)
+			}
+		}},
+		{"Stream/sigma-rebase", func(b *testing.B) {
+			gen2, delta, p := sigmaRebaseWorkload(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Rebase(gen2.Graph(), delta.Invalidates)
+			}
+		}},
 		{"Snapshot/first-query-text", func(b *testing.B) {
 			files, _ := snapshotBenchEnv(b)
 			before := hypergraph.FreezeBuilds()
@@ -694,6 +732,93 @@ func loadTextCorpus(b *testing.B, files []string) *search.Index {
 		corpus[i] = g
 	}
 	return search.Build(corpus)
+}
+
+// growthWorkload returns the frozen seed graph and deterministic growth
+// stream shared by the Stream benchmarks.
+func growthWorkload() (*hged.Hypergraph, []gen.GrowthStep) {
+	seed, steps, err := gen.Growth(gen.GrowthConfig{
+		SeedNodes: 32, SeedEdges: 48, Steps: 64, CopyProb: 0.5, ChurnProb: 0.2, Seed: 9,
+	})
+	if err != nil {
+		panic(err)
+	}
+	seed.Freeze()
+	return seed, steps
+}
+
+// applyGrowthMVCC replays a growth stream through copy-on-write batches of
+// batchSize steps each, returning the number of generations published.
+func applyGrowthMVCC(v *hypergraph.Versioned, steps []gen.GrowthStep, batchSize int) int64 {
+	var published int64
+	for len(steps) > 0 {
+		k := batchSize
+		if k > len(steps) {
+			k = len(steps)
+		}
+		b := v.Begin()
+		for _, st := range steps[:k] {
+			switch st.Op {
+			case gen.GrowthAddNode:
+				b.AddNode(st.Label)
+			case gen.GrowthAddEdge:
+				b.AddEdge(st.Label, st.Nodes...)
+			case gen.GrowthRemoveEdge:
+				b.RemoveEdge(st.Edge)
+			}
+		}
+		b.Commit()
+		published++
+		steps = steps[k:]
+	}
+	return published
+}
+
+// streamIndexWorkload builds a 64-graph corpus in which exactly one graph
+// advanced a generation: BuildReusing recomputes its signature row and
+// copies the other 63, Build recomputes all 64.
+func streamIndexWorkload() ([]*hged.Hypergraph, *search.Index, []int) {
+	rng := rand.New(rand.NewSource(31))
+	corpus := make([]*hged.Hypergraph, 64)
+	for i := range corpus {
+		corpus[i] = gen.Uniform(16+rng.Intn(8), 24+rng.Intn(8), 4, 4, 3, rng.Int63()+1)
+	}
+	prev := search.Build(corpus)
+	v := hypergraph.NewVersioned(corpus[7])
+	b := v.Begin()
+	b.AddEdge(5, 0, 1, 2)
+	gen2, _ := b.Commit()
+	next := make([]*hged.Hypergraph, len(corpus))
+	reuse := make([]int, len(corpus))
+	for i := range corpus {
+		next[i], reuse[i] = corpus[i], i
+	}
+	next[7], reuse[7] = gen2.Graph(), -1
+	return next, prev, reuse
+}
+
+// sigmaRebaseWorkload warms a σ predictor over the growth graph, commits one
+// edge-adding batch, and hands back the new generation, its delta and the
+// warm predictor — the rebase the server performs on every mutation.
+func sigmaRebaseWorkload(b *testing.B) (*hypergraph.Generation, hypergraph.Delta, *predict.Predictor) {
+	b.Helper()
+	seed, steps := growthWorkload()
+	g := seed.Clone()
+	gen.ApplyGrowth(g, steps)
+	g.Freeze()
+	v := hypergraph.NewVersioned(g)
+	p, err := predict.New(v.Current().Graph(), predict.Options{Lambda: 2, Tau: 4, MaxExpansions: 5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumNodes()
+	for u := 0; u+1 < n && u < 40; u += 2 {
+		p.Sigma(hged.NodeID(u), hged.NodeID(u+1), 8)
+	}
+	bt := v.Begin()
+	bt.AddEdge(7, 0, 1, 2)
+	gen2, delta := bt.Commit()
+	return gen2, delta, p
 }
 
 func benchPivotRange(b *testing.B, pivots int) {

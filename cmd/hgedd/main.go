@@ -153,7 +153,7 @@ func run() error {
 				return err
 			}
 			logger.Printf("loaded graph %q from %s: %d nodes, %d hyperedges",
-				e.Name, l.path, e.Stats.Nodes, e.Stats.Edges)
+				e.Name, l.path, e.Stats().Nodes, e.Stats().Edges)
 		}
 		for _, b := range bensons {
 			g, err := readBenson(b.files)
@@ -165,7 +165,7 @@ func run() error {
 				return err
 			}
 			logger.Printf("loaded graph %q (benson): %d nodes, %d hyperedges",
-				e.Name, e.Stats.Nodes, e.Stats.Edges)
+				e.Name, e.Stats().Nodes, e.Stats().Edges)
 		}
 
 		// Build (or load) the similarity-search index before accepting

@@ -46,7 +46,29 @@ type (
 	GenConfig = gen.Config
 	// Community records each generated node's planted community.
 	Community = gen.Community
+	// GrowthConfig drives the hyperedge-copying growth generator — the
+	// streaming-update workload (Edge Correlations and Link Prediction in
+	// Growing Hypergraphs).
+	GrowthConfig = gen.GrowthConfig
+	// GrowthStep is one operation of a growth stream.
+	GrowthStep = gen.GrowthStep
 )
+
+// Growth stream operations.
+const (
+	GrowthAddNode    = gen.GrowthAddNode
+	GrowthAddEdge    = gen.GrowthAddEdge
+	GrowthRemoveEdge = gen.GrowthRemoveEdge
+)
+
+// GenerateGrowth returns a seed hypergraph and a deterministic
+// hyperedge-copying growth stream to apply on top of it.
+func GenerateGrowth(cfg GrowthConfig) (*Hypergraph, []GrowthStep, error) {
+	return gen.Growth(cfg)
+}
+
+// ApplyGrowth replays a growth stream onto g in order.
+func ApplyGrowth(g *Hypergraph, steps []GrowthStep) { gen.ApplyGrowth(g, steps) }
 
 // GeneratePlanted synthesizes a hypergraph with planted communities.
 func GeneratePlanted(cfg GenConfig) (*Hypergraph, Community, error) {
@@ -133,6 +155,14 @@ type (
 
 // BuildSearchIndex indexes a corpus of hypergraphs for range and kNN search.
 func BuildSearchIndex(corpus []*Hypergraph) *SearchIndex { return search.Build(corpus) }
+
+// BuildSearchIndexReusing indexes a corpus, copying the signature row for
+// every graph whose reuse entry names its row in prev (-1 recomputes) —
+// the incremental refresh path for versioned corpora. Results are
+// byte-identical to BuildSearchIndex.
+func BuildSearchIndexReusing(corpus []*Hypergraph, prev *SearchIndex, reuse []int) *SearchIndex {
+	return search.BuildReusing(corpus, prev, reuse)
+}
 
 // WritePivotSnapshot serializes a pivot table and the signature digests of
 // the corpus it was built over (SearchIndex.SignatureDigests) in the

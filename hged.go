@@ -53,7 +53,21 @@ type (
 	Stats = hypergraph.Stats
 	// Bipartite is the bipartite incidence view of a hypergraph.
 	Bipartite = hypergraph.Bipartite
+	// VersionedGraph is an MVCC wrapper: readers pin immutable frozen
+	// generations in O(1) while a writer batches mutations and publishes
+	// the next.
+	VersionedGraph = hypergraph.Versioned
+	// GraphGeneration is one immutable published version of a graph.
+	GraphGeneration = hypergraph.Generation
+	// GraphBatch is an open copy-on-write mutation batch.
+	GraphBatch = hypergraph.Batch
+	// GraphDelta reports what a committed batch invalidates.
+	GraphDelta = hypergraph.Delta
 )
+
+// NewVersionedGraph publishes g as generation 1 of a versioned graph. The
+// caller hands over ownership: mutate only through Begin/Commit batches.
+func NewVersionedGraph(g *Hypergraph) *VersionedGraph { return hypergraph.NewVersioned(g) }
 
 // NewHypergraph returns an empty hypergraph with n unlabeled nodes.
 func NewHypergraph(n int) *Hypergraph { return hypergraph.New(n) }

@@ -1,0 +1,172 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hged/internal/hypergraph"
+)
+
+// GrowthConfig drives the hyperedge-copying growth model of "Edge
+// Correlations and Link Prediction in Growing Hypergraphs" (PAPERS.md):
+// each arriving node picks an existing hyperedge as its template, copies
+// each template member independently with probability CopyProb, and forms a
+// new hyperedge from itself plus the copied members — reproducing the
+// edge-correlation structure real hypergraphs grow with. An optional churn
+// probability removes a uniform random hyperedge after a step, which makes
+// the stream exercise the full mutation API (the MVCC streaming workload).
+type GrowthConfig struct {
+	// SeedNodes and SeedEdges size the initial graph the stream grows from
+	// (defaults 8 nodes, 8 edges; SeedNodes ≥ 2, SeedEdges ≥ 1 — the first
+	// step needs a template).
+	SeedNodes, SeedEdges int
+	// Steps is the number of growth steps; each adds one node and one
+	// hyperedge (must be ≥ 0).
+	Steps int
+	// CopyProb is the per-member template copy probability p ∈ (0, 1]
+	// (default 0.5).
+	CopyProb float64
+	// ChurnProb is the probability a step also removes a uniform random
+	// hyperedge, ∈ [0, 1) (default 0 — pure growth).
+	ChurnProb float64
+	// NodeLabelCount and EdgeLabelCount size the label alphabets
+	// (defaults 4 and 4).
+	NodeLabelCount, EdgeLabelCount int
+	// Seed makes generation deterministic (0 means 1).
+	Seed int64
+}
+
+func (c GrowthConfig) normalize() (GrowthConfig, error) {
+	if c.SeedNodes == 0 {
+		c.SeedNodes = 8
+	}
+	if c.SeedEdges == 0 {
+		c.SeedEdges = 8
+	}
+	if c.SeedNodes < 2 || c.SeedEdges < 1 {
+		return c, fmt.Errorf("gen: need SeedNodes ≥ 2 and SeedEdges ≥ 1, got %d, %d", c.SeedNodes, c.SeedEdges)
+	}
+	if c.Steps < 0 {
+		return c, fmt.Errorf("gen: Steps %d < 0", c.Steps)
+	}
+	if c.CopyProb == 0 {
+		c.CopyProb = 0.5
+	}
+	if c.CopyProb < 0 || c.CopyProb > 1 {
+		return c, fmt.Errorf("gen: CopyProb %v out of (0,1]", c.CopyProb)
+	}
+	if c.ChurnProb < 0 || c.ChurnProb >= 1 {
+		return c, fmt.Errorf("gen: ChurnProb %v out of [0,1)", c.ChurnProb)
+	}
+	if c.NodeLabelCount == 0 {
+		c.NodeLabelCount = 4
+	}
+	if c.EdgeLabelCount == 0 {
+		c.EdgeLabelCount = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c, nil
+}
+
+// GrowthOpKind discriminates the operations a growth stream emits.
+type GrowthOpKind int
+
+const (
+	// GrowthAddNode introduces the arriving node.
+	GrowthAddNode GrowthOpKind = iota
+	// GrowthAddEdge adds the copied hyperedge (members in current ids).
+	GrowthAddEdge
+	// GrowthRemoveEdge removes a hyperedge (id in current numbering, i.e.
+	// after all earlier steps of the stream have been applied).
+	GrowthRemoveEdge
+)
+
+// GrowthStep is one operation of a growth stream. Ids are valid at the
+// moment the step is applied, in order — RemoveEdge targets account for the
+// dense renumbering earlier removals performed.
+type GrowthStep struct {
+	Op    GrowthOpKind
+	Label hypergraph.Label    // AddNode / AddEdge label
+	Nodes []hypergraph.NodeID // AddEdge members (includes the new node)
+	Edge  hypergraph.EdgeID   // RemoveEdge target
+}
+
+// Growth generates the seed hypergraph and a deterministic operation stream
+// growing it. The same stream can be applied incrementally (through MVCC
+// batches) or replayed from scratch — the differential tests rely on both
+// paths producing identical graphs. The returned seed graph is the stream's
+// base: apply the steps to it (or to a clone) with ApplyGrowth.
+func Growth(cfg GrowthConfig) (*hypergraph.Hypergraph, []GrowthStep, error) {
+	c, err := cfg.normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	g := hypergraph.New(0)
+	for i := 0; i < c.SeedNodes; i++ {
+		g.AddNode(hypergraph.Label(1 + rng.Intn(c.NodeLabelCount)))
+	}
+	// mirror tracks the evolving hyperedge list so template picks and churn
+	// targets are valid in the numbering the consumer sees at apply time.
+	mirror := make([][]hypergraph.NodeID, 0, c.SeedEdges+c.Steps)
+	for e := 0; e < c.SeedEdges; e++ {
+		sz := 2 + rng.Intn(3)
+		members := make([]hypergraph.NodeID, sz)
+		for j := range members {
+			members[j] = hypergraph.NodeID(rng.Intn(c.SeedNodes))
+		}
+		id := g.AddEdge(hypergraph.Label(100+rng.Intn(c.EdgeLabelCount)), members...)
+		mirror = append(mirror, append([]hypergraph.NodeID(nil), g.Edge(id).Nodes...))
+	}
+	n := g.NumNodes()
+
+	steps := make([]GrowthStep, 0, 3*c.Steps)
+	for s := 0; s < c.Steps; s++ {
+		v := hypergraph.NodeID(n)
+		n++
+		steps = append(steps, GrowthStep{
+			Op:    GrowthAddNode,
+			Label: hypergraph.Label(1 + rng.Intn(c.NodeLabelCount)),
+		})
+		template := mirror[rng.Intn(len(mirror))]
+		members := []hypergraph.NodeID{v}
+		for _, u := range template {
+			if rng.Float64() < c.CopyProb {
+				members = append(members, u)
+			}
+		}
+		if len(members) == 1 {
+			// The model forces at least one copied member, so the new
+			// hyperedge correlates with its template.
+			members = append(members, template[rng.Intn(len(template))])
+		}
+		steps = append(steps, GrowthStep{
+			Op:    GrowthAddEdge,
+			Label: hypergraph.Label(100 + rng.Intn(c.EdgeLabelCount)),
+			Nodes: members,
+		})
+		mirror = append(mirror, members)
+		if len(mirror) > 1 && rng.Float64() < c.ChurnProb {
+			victim := rng.Intn(len(mirror))
+			steps = append(steps, GrowthStep{Op: GrowthRemoveEdge, Edge: hypergraph.EdgeID(victim)})
+			mirror = append(mirror[:victim], mirror[victim+1:]...)
+		}
+	}
+	return g, steps, nil
+}
+
+// ApplyGrowth replays a growth stream onto g in order.
+func ApplyGrowth(g *hypergraph.Hypergraph, steps []GrowthStep) {
+	for _, st := range steps {
+		switch st.Op {
+		case GrowthAddNode:
+			g.AddNode(st.Label)
+		case GrowthAddEdge:
+			g.AddEdge(st.Label, st.Nodes...)
+		case GrowthRemoveEdge:
+			g.RemoveEdge(st.Edge)
+		}
+	}
+}

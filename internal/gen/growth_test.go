@@ -1,0 +1,161 @@
+package gen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hged/internal/hypergraph"
+	"hged/internal/search"
+)
+
+func TestGrowthDeterministic(t *testing.T) {
+	cfg := GrowthConfig{Steps: 40, ChurnProb: 0.3, Seed: 9}
+	g1, s1, err := Growth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, s2, err := Growth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed produced different streams")
+	}
+	if g1.String() != g2.String() {
+		t.Fatal("same seed produced different seed graphs")
+	}
+}
+
+func TestGrowthStreamStaysValid(t *testing.T) {
+	g, steps, err := Growth(GrowthConfig{Steps: 120, ChurnProb: 0.4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range steps {
+		ApplyGrowth(g, []GrowthStep{st})
+		if err := g.Validate(); err != nil {
+			t.Fatalf("graph invalid after %+v: %v", st, err)
+		}
+	}
+	// Pure growth adds one node and one hyperedge per step; churn only
+	// removes hyperedges, so node count is exact.
+	if want := 8 + 120; g.NumNodes() != want {
+		t.Fatalf("NumNodes = %d, want %d", g.NumNodes(), want)
+	}
+}
+
+func TestGrowthRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []GrowthConfig{
+		{SeedNodes: 1},
+		{Steps: -1},
+		{CopyProb: 1.5},
+		{ChurnProb: 1},
+	} {
+		if _, _, err := Growth(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestGrowthDifferentialMVCC is the acceptance differential: a growth
+// stream applied incrementally through MVCC batches must produce, at every
+// published generation, a graph byte-identical (CSR accessor level) to a
+// from-scratch replay — and at the end, a search index over the incremental
+// graph must return identical matches and FilterStats to one over the
+// scratch graph.
+func TestGrowthDifferentialMVCC(t *testing.T) {
+	seedGraph, steps, err := Growth(GrowthConfig{Steps: 80, ChurnProb: 0.35, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := seedGraph.Clone()
+	v := hypergraph.NewVersioned(seedGraph)
+	rng := rand.New(rand.NewSource(1))
+	for len(steps) > 0 {
+		k := 1 + rng.Intn(5)
+		if k > len(steps) {
+			k = len(steps)
+		}
+		b := v.Begin()
+		for _, st := range steps[:k] {
+			switch st.Op {
+			case GrowthAddNode:
+				b.AddNode(st.Label)
+			case GrowthAddEdge:
+				b.AddEdge(st.Label, st.Nodes...)
+			case GrowthRemoveEdge:
+				b.RemoveEdge(st.Edge)
+			}
+		}
+		ApplyGrowth(scratch, steps[:k])
+		steps = steps[k:]
+		gen, _ := b.Commit()
+		requireGraphIdentical(t, gen.Graph(), scratch)
+	}
+
+	// Search differential over ego corpora of both final graphs.
+	final := v.Current().Graph()
+	var incCorpus, scrCorpus []*hypergraph.Hypergraph
+	for i := 0; i < final.NumNodes(); i += 3 {
+		incCorpus = append(incCorpus, final.Ego(hypergraph.NodeID(i)))
+		scrCorpus = append(scrCorpus, scratch.Ego(hypergraph.NodeID(i)))
+	}
+	incIx := search.Build(incCorpus)
+	scrIx := search.Build(scrCorpus)
+	// Cap verification work: the differential only needs identical results,
+	// and capped runs cover the bound-hit paths too.
+	incIx.MaxExpansions = 20_000
+	scrIx.MaxExpansions = 20_000
+	q := scratch.Ego(1)
+	for _, tau := range []int{0, 3} {
+		gm, gs, err := incIx.Search(q, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm, ws, err := scrIx.Search(q, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gm, wm) || gs != ws {
+			t.Fatalf("τ=%d: incremental corpus search diverged\ngot  %v %+v\nwant %v %+v", tau, gm, gs, wm, ws)
+		}
+	}
+	km, ks, err := incIx.Nearest(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wkm, wks, err := scrIx.Nearest(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(km, wkm) || ks != wks {
+		t.Fatalf("kNN diverged\ngot  %v %+v\nwant %v %+v", km, ks, wkm, wks)
+	}
+}
+
+// requireGraphIdentical compares two graphs at the frozen-accessor level:
+// counts, labels, members, incidences and the interned dictionary.
+func requireGraphIdentical(t *testing.T, got, want *hypergraph.Hypergraph) {
+	t.Helper()
+	gc, wc := got.Freeze(), want.Clone().Freeze()
+	if gc.NumNodes() != wc.NumNodes() || gc.NumEdges() != wc.NumEdges() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)", gc.NumNodes(), gc.NumEdges(), wc.NumNodes(), wc.NumEdges())
+	}
+	if !reflect.DeepEqual(gc.Labels(), wc.Labels()) {
+		t.Fatalf("label dictionaries differ: %v vs %v", gc.Labels(), wc.Labels())
+	}
+	if !reflect.DeepEqual(gc.NodeLabelIDs(), wc.NodeLabelIDs()) || !reflect.DeepEqual(gc.EdgeLabelIDs(), wc.EdgeLabelIDs()) {
+		t.Fatal("interned label arrays differ")
+	}
+	for e := 0; e < gc.NumEdges(); e++ {
+		if !reflect.DeepEqual(gc.Members(hypergraph.EdgeID(e)), wc.Members(hypergraph.EdgeID(e))) {
+			t.Fatalf("edge %d members differ: %v vs %v", e, gc.Members(hypergraph.EdgeID(e)), wc.Members(hypergraph.EdgeID(e)))
+		}
+	}
+	for n := 0; n < gc.NumNodes(); n++ {
+		if !reflect.DeepEqual(gc.IncidentEdges(hypergraph.NodeID(n)), wc.IncidentEdges(hypergraph.NodeID(n))) {
+			t.Fatalf("node %d incidence differs", n)
+		}
+	}
+}

@@ -389,13 +389,15 @@ func (h *Hypergraph) invalidateDerived() {
 	h.egoMu.Unlock()
 }
 
-// Clone returns a deep copy of the hypergraph. Cloning a frozen-first graph
-// is O(1): the clone shares the immutable CSR view and stays lazy; either
-// instance materializes its own mutable representation on first mutation
-// (capacity-capped subslices make appends reallocate), so the copies stay
-// independent under the package's mutation API.
+// Clone returns a deep copy of the hypergraph. Cloning a graph with a
+// current CSR view (frozen-first, or frozen and unmutated since) is O(1):
+// the clone shares the immutable CSR and starts lazy; either instance
+// materializes its own mutable representation on first mutation
+// (capacity-capped subslices make appends reallocate, removals reallocate
+// changed lists), so the copies stay independent under the package's
+// mutation API.
 func (h *Hypergraph) Clone() *Hypergraph {
-	if frozen := h.lazyCSR(); frozen != nil {
+	if frozen := h.frozen(); frozen != nil {
 		c := &Hypergraph{csr: frozen}
 		if h.origIDs != nil {
 			c.origIDs = append([]NodeID(nil), h.origIDs...)

@@ -85,7 +85,7 @@ func (a *Analyzer) appliesTo(importPath string) bool {
 // DefaultAnalyzers returns the project rule set with its production package
 // scoping (see DESIGN.md "Static analysis" for the contract each enforces).
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{Detrange, Nondet, Poolpair, Ctxpoll, Hotmap}
+	return []*Analyzer{Detrange, Nondet, Poolpair, Ctxpoll, Hotmap, Mutpath}
 }
 
 // ByName returns the default analyzer with the given rule name, or nil.

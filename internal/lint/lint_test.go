@@ -80,7 +80,7 @@ func checkFixture(t *testing.T, dir, rule string) []lint.Diagnostic {
 // diagnostic and no diagnostic goes unexpected — including that the
 // fixtures' suppression comments silence their sites.
 func TestAnalyzerFixtures(t *testing.T) {
-	for _, rule := range []string{"detrange", "nondet", "poolpair", "ctxpoll", "hotmap"} {
+	for _, rule := range []string{"detrange", "nondet", "poolpair", "ctxpoll", "hotmap", "mutpath"} {
 		t.Run(rule, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", rule)
 			diags := checkFixture(t, dir, rule)
@@ -129,6 +129,7 @@ func TestSuppressionRemoval(t *testing.T) {
 		{"poolpair", "//hgedvet:ignore poolpair ownership transfers"},
 		{"ctxpoll", "//hgedvet:ignore ctxpoll bounded to 64 iterations"},
 		{"hotmap", "//hgedvet:ignore hotmap string keys have no dense id space"},
+		{"mutpath", "//hgedvet:ignore mutpath graph is still private"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {

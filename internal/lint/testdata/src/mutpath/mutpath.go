@@ -1,0 +1,35 @@
+// Package mutpath is the hgedvet fixture for the mutpath analyzer: direct
+// Hypergraph mutation calls in the server must go through a versioned
+// GraphBatch — or carry a justified suppression for graphs that are not yet
+// published.
+package mutpath
+
+import "hged/internal/hypergraph"
+
+// Flagged: direct mutations on a published graph bypass generation
+// publication and cache invalidation.
+func grow(g *hypergraph.Hypergraph) hypergraph.NodeID {
+	v := g.AddNode(1)    // want mutpath "direct AddNode"
+	g.AddEdge(2, v, v)   // want mutpath "direct AddEdge"
+	g.RemoveEdge(0)      // want mutpath "direct RemoveEdge"
+	g.RemoveNode(v)      // want mutpath "direct RemoveNode"
+	g.SetNodeLabel(v, 3) // want mutpath "direct SetNodeLabel"
+	return v
+}
+
+// Not flagged: mutations through a versioned batch are the sanctioned path —
+// Commit publishes the next generation and reports the invalidation delta.
+func growVersioned(v *hypergraph.Versioned) {
+	b := v.Begin()
+	u := b.AddNode(1)
+	b.AddEdge(2, u)
+	b.Commit()
+}
+
+// Suppressed: building a graph that no reader can see yet is legitimate.
+func seed() *hypergraph.Hypergraph {
+	g := hypergraph.New(2)
+	//hgedvet:ignore mutpath graph is still private: constructed here, not yet wrapped in a Versioned
+	g.AddEdge(1, 0, 1)
+	return g
+}

@@ -1,0 +1,78 @@
+package predict
+
+import "hged/internal/hypergraph"
+
+// Rebase returns a new Predictor serving graph g — the next published
+// generation of the graph this predictor was built on — carrying over every
+// σ-cache entry the mutation delta does not invalidate. invalid reports
+// whether a node's ego network may have changed between the generations; a
+// nil invalid means node ids were renumbered and the whole cache is dropped
+// (only the work counters survive, so /metrics stays monotonic).
+//
+// The receiver is left untouched and keeps answering queries against its own
+// generation — in-flight requests finish with a consistent view while new
+// requests use the rebased predictor. Entry carry-over is sound because σ is
+// a function of ego networks only: a full entry (u,v) is reused when neither
+// endpoint is invalid, and a context entry when no member of its interned
+// context set is invalid (any edit fully inside the context marks some
+// member invalid — see hypergraph.Batch).
+func (p *Predictor) Rebase(g *hypergraph.Hypergraph, invalid func(hypergraph.NodeID) bool) *Predictor {
+	np := &Predictor{g: g, opts: p.opts, cache: p.cache.rebase(g, invalid)}
+	p.mu.Lock()
+	np.seeds, np.grown = p.seeds, p.grown
+	p.mu.Unlock()
+	return np
+}
+
+func (c *pairCache) rebase(g *hypergraph.Hypergraph, invalid func(hypergraph.NodeID) bool) *pairCache {
+	nc := &pairCache{
+		g:          g,
+		solver:     c.solver,
+		maxEgo:     c.maxEgo,
+		maxExp:     c.maxExp,
+		metric:     c.metric,
+		full:       make(map[uint64]cacheEntry),
+		ctx:        make(map[ctxPair]cacheEntry),
+		fullWait:   make(map[uint64]chan struct{}),
+		ctxWait:    make(map[ctxPair]chan struct{}),
+		ctxBuckets: make(map[uint64][]int32),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nc.computed, nc.hits, nc.deduped, nc.expanded = c.computed, c.hits, c.deduped, c.expanded
+	if invalid == nil {
+		return nc // renumbered: nothing keyed by node id survives
+	}
+	// The context interner carries over wholesale (ids stay stable across
+	// generations); only entries touching an invalid node are dropped.
+	nc.ctxSets = append(nc.ctxSets, c.ctxSets...)
+	//hgedvet:ignore detrange map-to-map copy of the interner buckets: keys are independent, the result is order-invariant
+	for k, ids := range c.ctxBuckets {
+		nc.ctxBuckets[k] = append([]int32(nil), ids...)
+	}
+	ctxValid := make([]bool, len(c.ctxSets))
+	for id, set := range c.ctxSets {
+		ok := true
+		for _, u := range set {
+			if invalid(u) {
+				ok = false
+				break
+			}
+		}
+		ctxValid[id] = ok
+	}
+	//hgedvet:ignore detrange filtered map-to-map copy: each key is written independently, the result is order-invariant
+	for key, e := range c.full {
+		u, v := hypergraph.NodeID(key>>32), hypergraph.NodeID(uint32(key))
+		if !invalid(u) && !invalid(v) {
+			nc.full[key] = e
+		}
+	}
+	//hgedvet:ignore detrange filtered map-to-map copy: each key is written independently, the result is order-invariant
+	for key, e := range c.ctx {
+		if ctxValid[key.ctx] {
+			nc.ctx[key] = e
+		}
+	}
+	return nc
+}

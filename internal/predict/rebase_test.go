@@ -1,0 +1,98 @@
+package predict
+
+import (
+	"testing"
+
+	"hged/internal/hypergraph"
+)
+
+// twoComponents builds two structurally different components
+// {0,1,2,3} and {4,5,6,7} so σ values are nontrivial.
+func twoComponents() *hypergraph.Hypergraph {
+	g := hypergraph.New(0)
+	for i := 0; i < 8; i++ {
+		g.AddNode(hypergraph.Label(1 + i%3))
+	}
+	g.AddEdge(10, 0, 1)
+	g.AddEdge(11, 1, 2, 3)
+	g.AddEdge(12, 4, 5)
+	g.AddEdge(13, 5, 6, 7)
+	return g
+}
+
+func TestRebaseCarriesValidEntries(t *testing.T) {
+	v := hypergraph.NewVersioned(twoComponents())
+	p, err := New(v.Current().Graph(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 50
+	dFar, okFar := p.Sigma(4, 5, budget)
+	dNear, _ := p.Sigma(0, 1, budget)
+	if !okFar {
+		t.Fatalf("σ(4,5) not within budget %d", budget)
+	}
+	base := p.Stats().PairsComputed
+
+	b := v.Begin()
+	b.AddEdge(14, 0, 2) // touches only component one
+	gen, delta := b.Commit()
+	np := p.Rebase(gen.Graph(), delta.Invalidates)
+
+	// Untouched pair: carried entry answers without recomputation.
+	d2, ok2 := np.Sigma(4, 5, budget)
+	if !ok2 || d2 != dFar {
+		t.Fatalf("σ(4,5) after rebase = (%d,%v), want (%d,true)", d2, ok2, dFar)
+	}
+	if got := np.Stats().PairsComputed; got != base {
+		t.Fatalf("untouched pair recomputed: PairsComputed %d -> %d", base, got)
+	}
+	// Touched pair: entry dropped, σ recomputed on the new generation and
+	// must agree with a cold predictor.
+	d3, ok3 := np.Sigma(0, 1, budget)
+	if got := np.Stats().PairsComputed; got != base+1 {
+		t.Fatalf("touched pair not recomputed: PairsComputed %d, want %d", got, base+1)
+	}
+	cold, err := New(gen.Graph(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, wok := cold.Sigma(0, 1, budget)
+	if d3 != wd || ok3 != wok {
+		t.Fatalf("σ(0,1) after rebase = (%d,%v), cold predictor says (%d,%v)", d3, ok3, wd, wok)
+	}
+	_ = dNear
+
+	// The old predictor still answers against its own generation.
+	if d, ok := p.Sigma(0, 1, budget); d != dNear || !ok {
+		t.Fatalf("old predictor drifted: σ(0,1) = (%d,%v), want (%d,true)", d, ok, dNear)
+	}
+}
+
+func TestRebaseFullDropOnRenumber(t *testing.T) {
+	v := hypergraph.NewVersioned(twoComponents())
+	p, err := New(v.Current().Graph(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 50
+	p.Sigma(4, 5, budget)
+	base := p.Stats().PairsComputed
+
+	b := v.Begin()
+	b.RemoveNode(0)
+	gen, delta := b.Commit()
+	if !delta.Full {
+		t.Fatal("RemoveNode must force a full delta")
+	}
+	np := p.Rebase(gen.Graph(), nil)
+	if got := np.Stats().PairsComputed; got != base {
+		t.Fatalf("counters not carried: PairsComputed %d, want %d", got, base)
+	}
+	// Old pair (4,5) is now (3,4) — nothing keyed by old ids survives, so
+	// this must recompute rather than serve a renumbered stale entry.
+	np.Sigma(3, 4, budget)
+	if got := np.Stats().PairsComputed; got != base+1 {
+		t.Fatalf("expected a recomputation after renumber, PairsComputed %d, want %d", got, base+1)
+	}
+}

@@ -195,6 +195,30 @@ func Build(graphs []*hypergraph.Hypergraph) *Index {
 	return ix
 }
 
+// BuildReusing indexes the corpus like Build, but copies the signature row
+// for unchanged graphs out of a previous index instead of recomputing it:
+// reuse[i] names the row of prev holding graph i's signature, or -1 to
+// compute it fresh. Callers (the server's incremental refresh) map rows by
+// (name, generation), so a reused row is guaranteed to describe the same
+// frozen graph. Signatures are pure functions of the graph, so the result
+// is byte-identical to a full Build; pivot tables are not carried — they
+// bind to the whole corpus and must be re-attached or rebuilt.
+func BuildReusing(graphs []*hypergraph.Hypergraph, prev *Index, reuse []int) *Index {
+	if prev == nil || len(reuse) != len(graphs) {
+		return Build(graphs)
+	}
+	ix := &Index{graphs: graphs}
+	ix.sigs.init(len(graphs))
+	for i, g := range graphs {
+		if r := reuse[i]; r >= 0 && r < prev.sigs.size() {
+			ix.sigs.push(prev.sigs.at(r))
+		} else {
+			ix.sigs.push(signatureOf(g))
+		}
+	}
+	return ix
+}
+
 // Len returns the corpus size.
 func (ix *Index) Len() int { return len(ix.graphs) }
 

@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -78,17 +80,19 @@ func (s *Server) capExpansions(req int64) int64 {
 // --- graphs ---
 
 type graphSummary struct {
-	Name   string `json:"name"`
-	Nodes  int    `json:"nodes"`
-	Edges  int    `json:"edges"`
-	Source string `json:"source"`
+	Name       string `json:"name"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+	Generation int64  `json:"generation"`
+	Source     string `json:"source"`
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 	entries := s.reg.List()
 	out := make([]graphSummary, len(entries))
 	for i, e := range entries {
-		out[i] = graphSummary{Name: e.Name, Nodes: e.Stats.Nodes, Edges: e.Stats.Edges, Source: e.Source}
+		st := e.Stats()
+		out[i] = graphSummary{Name: e.Name, Nodes: st.Nodes, Edges: st.Edges, Generation: e.Generation(), Source: e.Source}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
 }
@@ -140,7 +144,7 @@ func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{"name": entry.Name, "stats": entry.Stats})
+	writeJSON(w, http.StatusCreated, map[string]any{"name": entry.Name, "generation": entry.Generation(), "stats": entry.Stats()})
 }
 
 func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
@@ -148,7 +152,142 @@ func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"name": e.Name, "source": e.Source, "stats": e.Stats})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": e.Name, "source": e.Source, "generation": e.Generation(), "stats": e.Stats(),
+	})
+}
+
+// --- mutation ---
+
+type mutateNode struct {
+	Label int `json:"label"`
+}
+
+type mutateEdge struct {
+	Label int   `json:"label"`
+	Nodes []int `json:"nodes"`
+}
+
+type mutateRequest struct {
+	AddNodes    []mutateNode `json:"addNodes,omitempty"`
+	AddEdges    []mutateEdge `json:"addEdges,omitempty"`
+	RemoveEdges []int        `json:"removeEdges,omitempty"`
+}
+
+// maxMutationOps caps the operations one batch may carry.
+const maxMutationOps = 100_000
+
+// handleMutateGraph applies one copy-on-write mutation batch to a loaded
+// graph: node additions, then hyperedge additions (which may reference the
+// nodes just added), then hyperedge removals (ids in post-addition
+// numbering, descending application so each id means what the client saw).
+// Readers keep their pinned generation; on success the new generation is
+// published atomically and derived caches are invalidated incrementally.
+func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.graphOr404(w, r)
+	if !ok {
+		return
+	}
+	var req mutateRequest
+	if !decodeJSON(w, r, s.cfg.MaxUploadBytes, &req) {
+		return
+	}
+	ops := len(req.AddNodes) + len(req.AddEdges) + len(req.RemoveEdges)
+	if ops == 0 {
+		writeError(w, http.StatusBadRequest, "empty mutation: need addNodes, addEdges or removeEdges")
+		return
+	}
+	if ops > maxMutationOps {
+		writeError(w, http.StatusBadRequest, "too many operations (%d > %d)", ops, maxMutationOps)
+		return
+	}
+	var nodeIDs, edgeIDs []int
+	gen, delta, err := e.Mutate(func(b *hged.GraphBatch) error {
+		for _, n := range req.AddNodes {
+			nodeIDs = append(nodeIDs, int(b.AddNode(hged.Label(n.Label))))
+		}
+		for i, spec := range req.AddEdges {
+			n := b.Graph().NumNodes()
+			if len(spec.Nodes) == 0 {
+				return fmt.Errorf("addEdges[%d]: empty member set", i)
+			}
+			members := make([]hged.NodeID, len(spec.Nodes))
+			for j, v := range spec.Nodes {
+				if v < 0 || v >= n {
+					return fmt.Errorf("addEdges[%d]: node %d out of range [0, %d)", i, v, n)
+				}
+				members[j] = hged.NodeID(v)
+			}
+			edgeIDs = append(edgeIDs, int(b.AddEdge(hged.Label(spec.Label), members...)))
+		}
+		// Descending order keeps every remaining id meaning what the client
+		// saw when it composed the request.
+		removals := append([]int(nil), req.RemoveEdges...)
+		sort.Sort(sort.Reverse(sort.IntSlice(removals)))
+		for i, id := range removals {
+			m := b.Graph().NumEdges()
+			if id < 0 || id >= m {
+				return fmt.Errorf("removeEdges[%d]: hyperedge %d out of range [0, %d)", i, id, m)
+			}
+			if i > 0 && id == removals[i-1] {
+				return fmt.Errorf("removeEdges: duplicate hyperedge id %d", id)
+			}
+			b.RemoveEdge(hged.EdgeID(id))
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.metrics.mutationDone(delta)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":         e.Name,
+		"generation":   gen,
+		"addedNodes":   nodeIDs,
+		"addedEdges":   edgeIDs,
+		"removedEdges": len(req.RemoveEdges),
+		"stats":        e.Stats(),
+	})
+}
+
+// handleRemoveEdge removes one hyperedge by id, publishing a new generation.
+func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.graphOr404(w, r)
+	if !ok {
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad hyperedge id %q", r.PathValue("id"))
+		return
+	}
+	gen, delta, err := e.Mutate(func(b *hged.GraphBatch) error {
+		if m := b.Graph().NumEdges(); id < 0 || id >= m {
+			return fmt.Errorf("hyperedge %d out of range [0, %d)", id, m)
+		}
+		b.RemoveEdge(hged.EdgeID(id))
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.metrics.mutationDone(delta)
+	writeJSON(w, http.StatusOK, map[string]any{"name": e.Name, "generation": gen, "stats": e.Stats()})
+}
+
+// handleDeleteGraph unloads a graph. Pinned readers and in-flight requests
+// against its generations finish undisturbed; the search index drops the
+// corpus entry on its next fingerprint check.
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Remove(name) {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		return
+	}
+	s.metrics.graphDeleted()
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
 }
 
 // --- distance ---
@@ -196,7 +335,12 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, 1<<20, &req) {
 		return
 	}
-	n := e.Graph.NumNodes()
+	// Pin one generation so the range check and both ego extractions see
+	// the same graph even while mutation batches publish.
+	gen := e.Pin()
+	defer gen.Unpin()
+	g := gen.Graph()
+	n := g.NumNodes()
 	if req.U < 0 || req.U >= n || req.V < 0 || req.V >= n {
 		writeError(w, http.StatusBadRequest, "node pair (%d, %d) out of range [0, %d)", req.U, req.V, n)
 		return
@@ -220,7 +364,7 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Costs = &cm
 	}
-	eu, ev := e.Graph.Ego(hged.NodeID(req.U)), e.Graph.Ego(hged.NodeID(req.V))
+	eu, ev := g.Ego(hged.NodeID(req.U)), g.Ego(hged.NodeID(req.V))
 	var res hged.Result
 	switch strings.ToLower(req.Solver) {
 	case "", "bfs":
@@ -318,17 +462,20 @@ func (s *Server) handleSigma(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	n := e.Graph.NumNodes()
+	// The predictor comes back with the graph of the generation it serves;
+	// validating ids against that same graph keeps the check and the σ
+	// queries consistent under concurrent mutation.
+	pred, g, err := e.sigmaPredictor(alg, s.capExpansions(req.MaxExpansions))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	n := g.NumNodes()
 	for _, p := range req.Pairs {
 		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
 			writeError(w, http.StatusBadRequest, "node pair (%d, %d) out of range [0, %d)", p[0], p[1], n)
 			return
 		}
-	}
-	pred, err := e.sigmaPredictor(alg, s.capExpansions(req.MaxExpansions))
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
 	}
 	results := make([]sigmaResult, len(req.Pairs))
 	for i, p := range req.Pairs {
@@ -361,6 +508,10 @@ type searchRequest struct {
 	// (clamped to maxSearchParallelism); results are identical at every
 	// setting. 0 or 1 verifies sequentially.
 	Parallelism int `json:"parallelism"`
+	// AllowStale serves the last-good index immediately when the corpus
+	// changed and a rebuild is in flight, instead of waiting for the fresh
+	// index (the read-your-writes default).
+	AllowStale bool `json:"allowStale,omitempty"`
 }
 
 type searchMatch struct {
@@ -368,42 +519,151 @@ type searchMatch struct {
 	Distance int    `json:"distance"`
 }
 
-// searchIndex lazily (re)builds the similarity-search index over the
-// registry corpus, keyed by the registry version.
+// searchIndex holds the shared similarity-search index over the registry
+// corpus, fingerprinted by the sorted (name, generation) set it was built
+// over. Rebuilds are single-flight and run outside the lock, so searches on
+// an up-to-date corpus never contend with a build, and clients that opt
+// into allowStale are served the last-good index while one rebuild runs.
 type searchIndex struct {
-	mu      sync.Mutex
-	version int64
-	names   []string
-	ix      *hged.SearchIndex
+	mu    sync.Mutex
+	fp    string // fingerprint of the corpus the index serves
+	names []string
+	gens  []int64
+	ix    *hged.SearchIndex
+
+	building  bool
+	buildDone chan struct{} // closed when the current flight finishes
+	buildErr  error         // outcome of the last finished flight
+	buildHook func()        // test seam: runs inside the flight, before install
 }
 
-// corpusIndex returns the shared search index, (re)building it — and its
-// pivot table, when Config.Pivots asks for one — under the lock whenever
-// the registry changed. ctx bounds the pivot-distance precompute; on error
-// (a cancelled build, typically) nothing is cached, so the next caller
-// retries rather than silently serving an unaccelerated index.
-func (s *Server) corpusIndex(ctx context.Context) (*hged.SearchIndex, []string, error) {
-	s.search.mu.Lock()
-	defer s.search.mu.Unlock()
-	v := s.reg.Version()
-	if s.search.ix != nil && s.search.version == v {
-		return s.search.ix, s.search.names, nil
-	}
-	entries := s.reg.List()
-	graphs := make([]*hged.Hypergraph, len(entries))
-	names := make([]string, len(entries))
+// corpusState snapshots the registry into the inputs of an index build: a
+// fingerprint over the sorted (name, generation) pairs plus the parallel
+// name/generation/graph slices.
+func corpusState(entries []*GraphEntry) (fp string, names []string, gens []int64, graphs []*hged.Hypergraph) {
+	var sb strings.Builder
+	names = make([]string, len(entries))
+	gens = make([]int64, len(entries))
+	graphs = make([]*hged.Hypergraph, len(entries))
 	for i, e := range entries {
-		graphs[i] = e.Graph
+		gen := e.Pin()
 		names[i] = e.Name
+		gens[i] = gen.Seq()
+		graphs[i] = gen.Graph()
+		gen.Unpin()
+		fmt.Fprintf(&sb, "%s\x00%d\x1e", e.Name, gens[i])
 	}
-	ix := hged.BuildSearchIndex(graphs)
-	if err := s.equipPivots(ctx, ix); err != nil {
-		return nil, nil, err
+	return sb.String(), names, gens, graphs
+}
+
+// buildSpec carries one rebuild flight's inputs.
+type buildSpec struct {
+	fp     string
+	names  []string
+	gens   []int64
+	graphs []*hged.Hypergraph
+	// previous installed index, for incremental signature-row reuse
+	prevIx    *hged.SearchIndex
+	prevNames []string
+	prevGens  []int64
+	hook      func()
+	done      chan struct{}
+}
+
+// corpusIndex returns the shared search index for the current corpus.
+// When the corpus changed, exactly one flight rebuilds it — detached from
+// the triggering request's context, so a cancelled client cannot waste the
+// build every other searcher is waiting on — while the caller either waits
+// (default: read-your-writes) or, with allowStale, is served the last-good
+// index immediately.
+func (s *Server) corpusIndex(ctx context.Context, allowStale bool) (*hged.SearchIndex, []string, error) {
+	for {
+		fp, names, gens, graphs := corpusState(s.reg.List())
+		s.search.mu.Lock()
+		if s.search.ix != nil && s.search.fp == fp {
+			ix, ixNames := s.search.ix, s.search.names
+			s.search.mu.Unlock()
+			return ix, ixNames, nil
+		}
+		stale, staleNames := s.search.ix, s.search.names
+		if !s.search.building {
+			s.search.building = true
+			s.search.buildDone = make(chan struct{})
+			s.search.buildErr = nil
+			spec := buildSpec{
+				fp: fp, names: names, gens: gens, graphs: graphs,
+				prevIx: stale, prevNames: s.search.names, prevGens: s.search.gens,
+				hook: s.search.buildHook, done: s.search.buildDone,
+			}
+			go s.rebuildIndex(context.WithoutCancel(ctx), spec)
+		}
+		done := s.search.buildDone
+		s.search.mu.Unlock()
+		if allowStale && stale != nil {
+			s.metrics.searchStaleServed()
+			return stale, staleNames, nil
+		}
+		select {
+		case <-done:
+			s.search.mu.Lock()
+			err := s.search.buildErr
+			s.search.mu.Unlock()
+			if err != nil {
+				return nil, nil, err
+			}
+			// Re-check: the flight may have installed an index for a corpus
+			// that has changed again in the meantime.
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
 	}
-	s.search.ix = ix
-	s.search.names = names
-	s.search.version = v
-	return s.search.ix, s.search.names, nil
+}
+
+// rebuildIndex is one single-flight index build: incremental when a
+// previous index exists (signature rows of unchanged (name, generation)
+// graphs are copied instead of recomputed), full otherwise. It runs with a
+// detached context; only a failed pivot precompute leaves the previous
+// index in place.
+func (s *Server) rebuildIndex(ctx context.Context, spec buildSpec) {
+	var (
+		ix     *hged.SearchIndex
+		reused int
+	)
+	if spec.prevIx != nil {
+		prevRow := make(map[string]int, len(spec.prevNames))
+		for i, n := range spec.prevNames {
+			prevRow[n] = i
+		}
+		reuse := make([]int, len(spec.names))
+		for i, n := range spec.names {
+			reuse[i] = -1
+			if j, ok := prevRow[n]; ok && spec.prevGens[j] == spec.gens[i] {
+				reuse[i] = j
+				reused++
+			}
+		}
+		ix = hged.BuildSearchIndexReusing(spec.graphs, spec.prevIx, reuse)
+	} else {
+		ix = hged.BuildSearchIndex(spec.graphs)
+	}
+	if spec.hook != nil {
+		spec.hook()
+	}
+	err := s.equipPivots(ctx, ix)
+	if err == nil {
+		s.metrics.indexRebuilt(reused)
+	}
+	s.search.mu.Lock()
+	if err == nil {
+		s.search.ix = ix
+		s.search.names = spec.names
+		s.search.gens = spec.gens
+		s.search.fp = spec.fp
+	}
+	s.search.buildErr = err
+	s.search.building = false
+	close(spec.done)
+	s.search.mu.Unlock()
 }
 
 // equipPivots attaches the configured pivot table to a freshly built
@@ -474,7 +734,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, "unknown query graph %q", req.Query.Name)
 			return
 		}
-		q = e.Graph
+		q = e.Graph()
 	case req.Query.Data != "":
 		var err error
 		switch strings.ToLower(req.Query.Format) {
@@ -498,7 +758,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parallelism = %d, must be ≥ 0", req.Parallelism)
 		return
 	}
-	shared, names, err := s.corpusIndex(r.Context())
+	shared, names, err := s.corpusIndex(r.Context(), req.AllowStale)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

@@ -331,7 +331,11 @@ func (m *JobManager) runJob(job *Job) {
 		finish(JobFailed, hged.PredictStats{}, nil, fmt.Sprintf("graph %q disappeared", job.Graph))
 		return
 	}
-	p, err := hged.NewPredictor(entry.Graph, job.Options)
+	// Pin the generation for the whole run: a prediction reflects one
+	// consistent graph version even while mutation batches publish.
+	gen := entry.Pin()
+	defer gen.Unpin()
+	p, err := hged.NewPredictor(gen.Graph(), job.Options)
 	if err != nil {
 		finish(JobFailed, hged.PredictStats{}, nil, err.Error())
 		return

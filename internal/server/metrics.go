@@ -81,6 +81,23 @@ type Metrics struct {
 	snapLoadNs int64
 	snapBytes  int64
 	snapGraphs int
+
+	// MVCC version-churn totals: committed mutation batches and what they
+	// changed, graph deletions, and how the search index kept up —
+	// incremental refreshes (with the signature rows they reused) versus
+	// full rebuilds, plus searches answered from a stale index by choice.
+	mutationBatches int64
+	nodesAdded      int64
+	nodesRemoved    int64
+	edgesAdded      int64
+	edgesRemoved    int64
+	relabeled       int64
+	fullDeltas      int64
+	graphsDeleted   int64
+	indexIncrements int64
+	indexFullBuilds int64
+	indexRowsReused int64
+	staleServed     int64
 }
 
 func newMetrics() *Metrics {
@@ -172,6 +189,49 @@ func (m *Metrics) pivotBound(d time.Duration) {
 	m.mu.Unlock()
 }
 
+// mutationDone accumulates one committed mutation batch's delta.
+func (m *Metrics) mutationDone(d hged.GraphDelta) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mutationBatches++
+	m.nodesAdded += int64(d.NodesAdded)
+	m.nodesRemoved += int64(d.NodesRemoved)
+	m.edgesAdded += int64(d.EdgesAdded)
+	m.edgesRemoved += int64(d.EdgesRemoved)
+	m.relabeled += int64(d.Relabeled)
+	if d.Full {
+		m.fullDeltas++
+	}
+}
+
+// graphDeleted records one registry removal.
+func (m *Metrics) graphDeleted() {
+	m.mu.Lock()
+	m.graphsDeleted++
+	m.mu.Unlock()
+}
+
+// indexRebuilt records one installed search-index build: incremental when
+// it reused signature rows from the previous index, full otherwise.
+func (m *Metrics) indexRebuilt(rowsReused int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rowsReused > 0 {
+		m.indexIncrements++
+		m.indexRowsReused += int64(rowsReused)
+	} else {
+		m.indexFullBuilds++
+	}
+}
+
+// searchStaleServed records one search answered from the last-good index
+// while a rebuild was in flight (the client opted in with allowStale).
+func (m *Metrics) searchStaleServed() {
+	m.mu.Lock()
+	m.staleServed++
+	m.mu.Unlock()
+}
+
 // snapshotLoaded records how the serving corpus was cold-started: restored
 // from a .hgx snapshot ("hgx") or rebuilt from source files ("rebuilt"),
 // with the time it took, the snapshot's on-disk size (0 when rebuilt
@@ -251,6 +311,28 @@ type MetricsSnapshot struct {
 		Hits   int64 `json:"hits"`
 		Misses int64 `json:"misses"`
 	} `json:"solverPool"`
+	// Versions reports MVCC churn: generations published across all loaded
+	// graphs (gauge, summed from the registry), currently pinned readers
+	// (gauge), committed mutation batches and their op totals, deletions,
+	// and how the search index kept pace — incremental refreshes with the
+	// signature rows they reused versus full rebuilds, plus searches the
+	// client chose to answer from a stale index during a rebuild.
+	Versions struct {
+		GenerationsPublished int64 `json:"generationsPublished"`
+		PinnedReaders        int64 `json:"pinnedReaders"`
+		MutationBatches      int64 `json:"mutationBatches"`
+		NodesAdded           int64 `json:"nodesAdded"`
+		NodesRemoved         int64 `json:"nodesRemoved"`
+		EdgesAdded           int64 `json:"edgesAdded"`
+		EdgesRemoved         int64 `json:"edgesRemoved"`
+		Relabeled            int64 `json:"relabeled"`
+		FullInvalidations    int64 `json:"fullInvalidations"`
+		GraphsDeleted        int64 `json:"graphsDeleted"`
+		IndexIncrements      int64 `json:"indexIncrements"`
+		IndexFullBuilds      int64 `json:"indexFullBuilds"`
+		IndexRowsReused      int64 `json:"indexRowsReused"`
+		StaleSearches        int64 `json:"staleSearches"`
+	} `json:"versions"`
 }
 
 // snapshot merges the counter state with the registry's live σ caches and
@@ -304,6 +386,18 @@ func (m *Metrics) snapshot(reg *Registry, jobs *JobManager) MetricsSnapshot {
 	snap.Snapshot.LoadNs = m.snapLoadNs
 	snap.Snapshot.Bytes = m.snapBytes
 	snap.Snapshot.Graphs = m.snapGraphs
+	snap.Versions.MutationBatches = m.mutationBatches
+	snap.Versions.NodesAdded = m.nodesAdded
+	snap.Versions.NodesRemoved = m.nodesRemoved
+	snap.Versions.EdgesAdded = m.edgesAdded
+	snap.Versions.EdgesRemoved = m.edgesRemoved
+	snap.Versions.Relabeled = m.relabeled
+	snap.Versions.FullInvalidations = m.fullDeltas
+	snap.Versions.GraphsDeleted = m.graphsDeleted
+	snap.Versions.IndexIncrements = m.indexIncrements
+	snap.Versions.IndexFullBuilds = m.indexFullBuilds
+	snap.Versions.IndexRowsReused = m.indexRowsReused
+	snap.Versions.StaleSearches = m.staleServed
 	m.mu.Unlock()
 
 	if reg != nil {
@@ -312,6 +406,11 @@ func (m *Metrics) snapshot(reg *Registry, jobs *JobManager) MetricsSnapshot {
 		snap.SigmaCache.Hits += int64(live.PairsCached)
 		snap.SigmaCache.Deduped += int64(live.PairsDeduped)
 		snap.SigmaCache.Expanded += int64(live.Expanded)
+		for _, e := range reg.List() {
+			vg := e.Versions()
+			snap.Versions.GenerationsPublished += vg.Published()
+			snap.Versions.PinnedReaders += vg.PinnedReaders()
+		}
 	}
 	if jobs != nil {
 		snap.Jobs.Queued, snap.Jobs.Running = jobs.gauges()

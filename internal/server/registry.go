@@ -10,36 +10,116 @@ import (
 	"hged"
 )
 
-// GraphEntry is one named, immutably-loaded hypergraph in the registry,
-// together with its precomputed stats and lazily-built σ predictors (the
-// per-graph on-demand HGED caches behind the sigma endpoint).
+// GraphEntry is one named hypergraph in the registry, wrapped in an MVCC
+// versioned lifecycle: readers pin immutable frozen generations while
+// mutation batches publish new ones, and the entry's derived state — per
+// generation stats and the lazily-built σ predictors behind the sigma
+// endpoint — is invalidated incrementally on every commit.
 type GraphEntry struct {
 	Name     string
-	Graph    *hged.Hypergraph
-	Stats    hged.Stats
 	Source   string // file path, "upload", or "builtin"
 	LoadedAt time.Time
 
-	mu    sync.Mutex
-	sigma map[string]*hged.Predictor
+	vg *hged.VersionedGraph
+
+	mu       sync.Mutex
+	stats    hged.Stats
+	statsGen int64
+	sigma    map[string]*sigmaEntry
+}
+
+// sigmaEntry ties a σ predictor to the graph generation it serves; Mutate
+// rebases every entry on commit so a predictor is never a generation behind.
+type sigmaEntry struct {
+	p   *hged.Predictor
+	gen int64
+}
+
+// Graph returns the current generation's immutable graph. Handlers that
+// make several reads that must be mutually consistent should Pin instead.
+func (e *GraphEntry) Graph() *hged.Hypergraph { return e.vg.Current().Graph() }
+
+// Pin pins the current generation for a consistent multi-read view; the
+// caller must Unpin it.
+func (e *GraphEntry) Pin() *hged.GraphGeneration { return e.vg.Pin() }
+
+// Generation returns the current generation's sequence number.
+func (e *GraphEntry) Generation() int64 { return e.vg.Current().Seq() }
+
+// Versions exposes the MVCC counters for /metrics.
+func (e *GraphEntry) Versions() *hged.VersionedGraph { return e.vg }
+
+// Stats returns summary statistics for the current generation, memoized
+// per generation.
+func (e *GraphEntry) Stats() hged.Stats {
+	gen := e.vg.Current()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.statsGen != gen.Seq() {
+		e.stats = hged.Summarize(gen.Graph())
+		e.statsGen = gen.Seq()
+	}
+	return e.stats
+}
+
+// Mutate runs apply inside a copy-on-write batch against the current
+// generation and publishes the result. On success it rebases the entry's σ
+// predictors onto the new generation (dropping only entries the delta
+// invalidates), refreshes the memoized stats, and returns the new
+// generation number with the delta. On error the batch is discarded and the
+// published generation is unchanged.
+func (e *GraphEntry) Mutate(apply func(b *hged.GraphBatch) error) (int64, hged.GraphDelta, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.vg.Begin()
+	if err := apply(b); err != nil {
+		b.Abort()
+		return 0, hged.GraphDelta{}, err
+	}
+	gen, delta := b.Commit()
+	e.stats = hged.Summarize(gen.Graph())
+	e.statsGen = gen.Seq()
+	//hgedvet:ignore detrange per-key in-place rebase: entries are independent, the result is order-invariant
+	for _, se := range e.sigma {
+		if delta.Full {
+			se.p = se.p.Rebase(gen.Graph(), nil)
+		} else {
+			se.p = se.p.Rebase(gen.Graph(), delta.Invalidates)
+		}
+		se.gen = gen.Seq()
+	}
+	return gen.Seq(), delta, nil
 }
 
 // sigmaPredictor returns the entry's memoizing σ predictor for the given
-// solver and expansion cap, creating it on first use. Predictors persist
-// for the life of the entry, so repeated sigma queries share one cache.
-func (e *GraphEntry) sigmaPredictor(alg hged.PredictAlgorithm, maxExp int64) (*hged.Predictor, error) {
+// solver and expansion cap on the current generation, creating it on first
+// use, together with the graph of the generation it serves. Predictors are
+// rebased across generations by Mutate, so a cached predictor always
+// answers for the generation it is returned with — stale σ values cannot
+// be served after a mutation.
+func (e *GraphEntry) sigmaPredictor(alg hged.PredictAlgorithm, maxExp int64) (*hged.Predictor, *hged.Hypergraph, error) {
 	key := fmt.Sprintf("%d|%d", alg, maxExp)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if p, ok := e.sigma[key]; ok {
-		return p, nil
+	gen := e.vg.Current()
+	if se, ok := e.sigma[key]; ok {
+		if se.gen != gen.Seq() {
+			// Mutate rebases under e.mu, so a mismatch can only mean the
+			// predictor predates this entry's wiring; rebuild cold.
+			p, err := hged.NewPredictor(gen.Graph(), hged.PredictOptions{Algorithm: alg, MaxExpansions: maxExp})
+			if err != nil {
+				return nil, nil, err
+			}
+			se.p, se.gen = p, gen.Seq()
+		}
+		return se.p, gen.Graph(), nil
 	}
-	p, err := hged.NewPredictor(e.Graph, hged.PredictOptions{Algorithm: alg, MaxExpansions: maxExp})
+	p, err := hged.NewPredictor(gen.Graph(), hged.PredictOptions{Algorithm: alg, MaxExpansions: maxExp})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	e.sigma[key] = p
-	return p, nil
+	e.sigma[key] = &sigmaEntry{p: p, gen: gen.Seq()}
+	return p, gen.Graph(), nil
 }
 
 // cacheStats sums the σ-cache counters across the entry's predictors.
@@ -48,8 +128,8 @@ func (e *GraphEntry) cacheStats() hged.PredictStats {
 	defer e.mu.Unlock()
 	var total hged.PredictStats
 	//hgedvet:ignore detrange commutative sum over per-predictor counters
-	for _, p := range e.sigma {
-		st := p.Stats()
+	for _, se := range e.sigma {
+		st := se.p.Stats()
 		total.PairsComputed += st.PairsComputed
 		total.PairsCached += st.PairsCached
 		total.PairsDeduped += st.PairsDeduped
@@ -58,10 +138,11 @@ func (e *GraphEntry) cacheStats() hged.PredictStats {
 	return total
 }
 
-// Registry holds the server's named hypergraphs. Graphs are immutable once
-// added; the registry itself is safe for concurrent use. The version
-// counter increments on every mutation so derived structures (the search
-// index) know when to rebuild.
+// Registry holds the server's named hypergraphs. Entries are added and
+// removed under one lock; each entry's graph versions independently through
+// its MVCC wrapper, and per-entry generation numbers — not the registry
+// version — are the staleness signal for derived structures (the search
+// index fingerprints the (name, generation) set).
 type Registry struct {
 	mu      sync.RWMutex
 	graphs  map[string]*GraphEntry
@@ -87,7 +168,9 @@ func validName(name string) error {
 	return nil
 }
 
-// Add registers g under name. The graph must not be mutated afterwards.
+// Add registers g under name as generation 1 of a new versioned entry. The
+// caller hands the graph over; it must only be mutated through the entry's
+// Mutate batches afterwards.
 func (r *Registry) Add(name string, g *hged.Hypergraph, source string) (*GraphEntry, error) {
 	if err := validName(name); err != nil {
 		return nil, err
@@ -97,11 +180,12 @@ func (r *Registry) Add(name string, g *hged.Hypergraph, source string) (*GraphEn
 	}
 	e := &GraphEntry{
 		Name:     name,
-		Graph:    g,
-		Stats:    hged.Summarize(g),
 		Source:   source,
 		LoadedAt: time.Now(),
-		sigma:    make(map[string]*hged.Predictor),
+		vg:       hged.NewVersionedGraph(g),
+		stats:    hged.Summarize(g),
+		statsGen: 1,
+		sigma:    make(map[string]*sigmaEntry),
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -130,6 +214,20 @@ func (r *Registry) Get(name string) (*GraphEntry, bool) {
 	return e, ok
 }
 
+// Remove deletes the entry for name, reporting whether it existed. Pinned
+// readers of any of its generations finish undisturbed; the name is
+// immediately free for re-registration.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; !ok {
+		return false
+	}
+	delete(r.graphs, name)
+	r.version++
+	return true
+}
+
 // List returns all entries sorted by name.
 func (r *Registry) List() []*GraphEntry {
 	r.mu.RLock()
@@ -149,7 +247,8 @@ func (r *Registry) Len() int {
 	return len(r.graphs)
 }
 
-// Version returns the mutation counter.
+// Version returns the add/remove counter. Per-entry generations, not this
+// counter, signal graph-content staleness.
 func (r *Registry) Version() int64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -1,11 +1,16 @@
 // Package server implements hgedd, the long-lived HGED/HEP query service:
-// a stdlib-only net/http JSON API over a registry of named, immutably
-// loaded hypergraphs. Synchronous queries (stats, node distance with edit
-// path explanations, memoized σ, similarity search) run under a shared
+// a stdlib-only net/http JSON API over a registry of named, MVCC-versioned
+// hypergraphs. Graphs mutate through copy-on-write batches (POST
+// /v1/graphs/{name}/edges) that publish new generations atomically while
+// readers keep pinned snapshots; derived state — σ predictors, memoized
+// stats, the similarity-search index — is invalidated incrementally per
+// generation. Synchronous queries (stats, node distance with edit path
+// explanations, memoized σ, similarity search) run under a shared
 // concurrency-limiting semaphore with per-request timeouts; HEP prediction
 // runs are asynchronous jobs on a bounded worker pool with per-job
 // cancellation and deadlines. Request counters, latency histograms, solver
-// expansions and σ-cache statistics are served from GET /metrics.
+// expansions, σ-cache statistics and MVCC version counters are served from
+// GET /metrics.
 //
 // The package wraps only the public hged facade; cmd/hgedd is the daemon
 // entry point.
@@ -132,12 +137,21 @@ func (s *Server) Registry() *Registry { return s.reg }
 // (including pivots) on the next search. ctx bounds the pivot-distance
 // precompute.
 func (s *Server) InitSearchIndex(ctx context.Context) error {
-	_, _, err := s.corpusIndex(ctx)
+	_, _, err := s.corpusIndex(ctx, false)
 	return err
 }
 
 // Jobs exposes the job manager (for tests and draining).
 func (s *Server) Jobs() *JobManager { return s.jobs }
+
+// SetSearchBuildHook installs fn to run inside every search-index rebuild
+// flight, after the new index is built but before it is installed — a test
+// seam for exercising searches that race a rebuild. Pass nil to clear.
+func (s *Server) SetSearchBuildHook(fn func()) {
+	s.search.mu.Lock()
+	s.search.buildHook = fn
+	s.search.mu.Unlock()
+}
 
 // Handler returns the root http.Handler.
 func (s *Server) Handler() http.Handler { return s.handler }
@@ -161,7 +175,10 @@ func (s *Server) routes() http.Handler {
 	for _, rt := range []route{
 		{"GET /v1/graphs", false, s.handleListGraphs},
 		{"POST /v1/graphs", true, s.handleUploadGraph},
+		{"DELETE /v1/graphs/{name}", false, s.handleDeleteGraph},
 		{"GET /v1/graphs/{name}/stats", false, s.handleGraphStats},
+		{"POST /v1/graphs/{name}/edges", true, s.handleMutateGraph},
+		{"DELETE /v1/graphs/{name}/edges/{id}", true, s.handleRemoveEdge},
 		{"POST /v1/graphs/{name}/distance", true, s.handleDistance},
 		{"POST /v1/graphs/{name}/sigma", true, s.handleSigma},
 		{"POST /v1/graphs/{name}/predict", false, s.handlePredict},

@@ -74,10 +74,14 @@ func (s *Server) LoadCorpusSnapshot(ctx context.Context, path string, want []str
 			return fmt.Errorf("corpus snapshot: install %q: %w", name, err)
 		}
 	}
+	// Every restored entry starts at generation 1; record the fingerprint
+	// so the first search adopts the snapshot index instead of rebuilding.
+	fp, _, gens, _ := corpusState(s.reg.List())
 	s.search.mu.Lock()
 	s.search.ix = ix
 	s.search.names = names
-	s.search.version = s.reg.Version()
+	s.search.gens = gens
+	s.search.fp = fp
 	s.search.mu.Unlock()
 	if gotPivots > 0 {
 		s.metrics.pivotAttached(gotPivots, "snapshot")
@@ -95,7 +99,7 @@ func (s *Server) LoadCorpusSnapshot(ctx context.Context, path string, want []str
 // reached when LoadCorpusSnapshot did not serve the cold start.
 func (s *Server) SaveCorpusSnapshot(ctx context.Context, path string) error {
 	start := time.Now()
-	ix, names, err := s.corpusIndex(ctx)
+	ix, names, err := s.corpusIndex(ctx, false)
 	if err != nil {
 		return err
 	}
