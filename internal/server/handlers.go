@@ -202,7 +202,7 @@ func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var nodeIDs, edgeIDs []int
-	gen, delta, err := e.Mutate(func(b *hged.GraphBatch) error {
+	gen, st, delta, err := e.Mutate(func(b *hged.GraphBatch) error {
 		for _, n := range req.AddNodes {
 			nodeIDs = append(nodeIDs, int(b.AddNode(hged.Label(n.Label))))
 		}
@@ -247,7 +247,7 @@ func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
 		"addedNodes":   nodeIDs,
 		"addedEdges":   edgeIDs,
 		"removedEdges": len(req.RemoveEdges),
-		"stats":        e.Stats(),
+		"stats":        st,
 	})
 }
 
@@ -262,7 +262,7 @@ func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad hyperedge id %q", r.PathValue("id"))
 		return
 	}
-	gen, delta, err := e.Mutate(func(b *hged.GraphBatch) error {
+	gen, st, delta, err := e.Mutate(func(b *hged.GraphBatch) error {
 		if m := b.Graph().NumEdges(); id < 0 || id >= m {
 			return fmt.Errorf("hyperedge %d out of range [0, %d)", id, m)
 		}
@@ -274,7 +274,7 @@ func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.mutationDone(delta)
-	writeJSON(w, http.StatusOK, map[string]any{"name": e.Name, "generation": gen, "stats": e.Stats()})
+	writeJSON(w, http.StatusOK, map[string]any{"name": e.Name, "generation": gen, "stats": st})
 }
 
 // handleDeleteGraph unloads a graph. Pinned readers and in-flight requests
@@ -525,11 +525,12 @@ type searchMatch struct {
 // an up-to-date corpus never contend with a build, and clients that opt
 // into allowStale are served the last-good index while one rebuild runs.
 type searchIndex struct {
-	mu    sync.Mutex
-	fp    string // fingerprint of the corpus the index serves
-	names []string
-	gens  []int64
-	ix    *hged.SearchIndex
+	mu     sync.Mutex
+	fp     string // fingerprint of the corpus the index serves
+	names  []string
+	epochs []int64
+	gens   []int64
+	ix     *hged.SearchIndex
 
 	building  bool
 	buildDone chan struct{} // closed when the current flight finishes
@@ -538,36 +539,44 @@ type searchIndex struct {
 }
 
 // corpusState snapshots the registry into the inputs of an index build: a
-// fingerprint over the sorted (name, generation) pairs plus the parallel
-// name/generation/graph slices.
-func corpusState(entries []*GraphEntry) (fp string, names []string, gens []int64, graphs []*hged.Hypergraph) {
+// fingerprint over the sorted (name, epoch, generation) triples plus the
+// parallel name/epoch/generation/graph slices. The epoch distinguishes a
+// name that was deleted and re-registered — its generations restart at 1,
+// so (name, generation) alone would alias the replaced graph. Fields are
+// length-prefixed so no name (validNames additionally exclude control
+// bytes) can forge a record boundary.
+func corpusState(entries []*GraphEntry) (fp string, names []string, epochs, gens []int64, graphs []*hged.Hypergraph) {
 	var sb strings.Builder
 	names = make([]string, len(entries))
+	epochs = make([]int64, len(entries))
 	gens = make([]int64, len(entries))
 	graphs = make([]*hged.Hypergraph, len(entries))
 	for i, e := range entries {
 		gen := e.Pin()
 		names[i] = e.Name
+		epochs[i] = e.Epoch()
 		gens[i] = gen.Seq()
 		graphs[i] = gen.Graph()
 		gen.Unpin()
-		fmt.Fprintf(&sb, "%s\x00%d\x1e", e.Name, gens[i])
+		fmt.Fprintf(&sb, "%d:%s\x00%d\x00%d\x1e", len(e.Name), e.Name, epochs[i], gens[i])
 	}
-	return sb.String(), names, gens, graphs
+	return sb.String(), names, epochs, gens, graphs
 }
 
 // buildSpec carries one rebuild flight's inputs.
 type buildSpec struct {
 	fp     string
 	names  []string
+	epochs []int64
 	gens   []int64
 	graphs []*hged.Hypergraph
 	// previous installed index, for incremental signature-row reuse
-	prevIx    *hged.SearchIndex
-	prevNames []string
-	prevGens  []int64
-	hook      func()
-	done      chan struct{}
+	prevIx     *hged.SearchIndex
+	prevNames  []string
+	prevEpochs []int64
+	prevGens   []int64
+	hook       func()
+	done       chan struct{}
 }
 
 // corpusIndex returns the shared search index for the current corpus.
@@ -578,7 +587,7 @@ type buildSpec struct {
 // index immediately.
 func (s *Server) corpusIndex(ctx context.Context, allowStale bool) (*hged.SearchIndex, []string, error) {
 	for {
-		fp, names, gens, graphs := corpusState(s.reg.List())
+		fp, names, epochs, gens, graphs := corpusState(s.reg.List())
 		s.search.mu.Lock()
 		if s.search.ix != nil && s.search.fp == fp {
 			ix, ixNames := s.search.ix, s.search.names
@@ -591,8 +600,9 @@ func (s *Server) corpusIndex(ctx context.Context, allowStale bool) (*hged.Search
 			s.search.buildDone = make(chan struct{})
 			s.search.buildErr = nil
 			spec := buildSpec{
-				fp: fp, names: names, gens: gens, graphs: graphs,
-				prevIx: stale, prevNames: s.search.names, prevGens: s.search.gens,
+				fp: fp, names: names, epochs: epochs, gens: gens, graphs: graphs,
+				prevIx: stale, prevNames: s.search.names,
+				prevEpochs: s.search.epochs, prevGens: s.search.gens,
 				hook: s.search.buildHook, done: s.search.buildDone,
 			}
 			go s.rebuildIndex(context.WithoutCancel(ctx), spec)
@@ -620,10 +630,10 @@ func (s *Server) corpusIndex(ctx context.Context, allowStale bool) (*hged.Search
 }
 
 // rebuildIndex is one single-flight index build: incremental when a
-// previous index exists (signature rows of unchanged (name, generation)
-// graphs are copied instead of recomputed), full otherwise. It runs with a
-// detached context; only a failed pivot precompute leaves the previous
-// index in place.
+// previous index exists (signature rows of unchanged (name, epoch,
+// generation) graphs are copied instead of recomputed), full otherwise. It
+// runs with a detached context; only a failed pivot precompute leaves the
+// previous index in place.
 func (s *Server) rebuildIndex(ctx context.Context, spec buildSpec) {
 	var (
 		ix     *hged.SearchIndex
@@ -637,7 +647,10 @@ func (s *Server) rebuildIndex(ctx context.Context, spec buildSpec) {
 		reuse := make([]int, len(spec.names))
 		for i, n := range spec.names {
 			reuse[i] = -1
-			if j, ok := prevRow[n]; ok && spec.prevGens[j] == spec.gens[i] {
+			// The epoch must match too: a re-registered name restarts at
+			// generation 1 with different content, and reusing the deleted
+			// entry's row would verify searches against the wrong graph.
+			if j, ok := prevRow[n]; ok && spec.prevEpochs[j] == spec.epochs[i] && spec.prevGens[j] == spec.gens[i] {
 				reuse[i] = j
 				reused++
 			}
@@ -657,6 +670,7 @@ func (s *Server) rebuildIndex(ctx context.Context, spec buildSpec) {
 	if err == nil {
 		s.search.ix = ix
 		s.search.names = spec.names
+		s.search.epochs = spec.epochs
 		s.search.gens = spec.gens
 		s.search.fp = spec.fp
 	}

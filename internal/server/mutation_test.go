@@ -202,6 +202,58 @@ func TestDeleteGraph(t *testing.T) {
 	}
 }
 
+// TestReuploadedNameInvalidatesIndex pins the registration-epoch fix:
+// deleting a graph and re-registering its name with different content —
+// with no search in between — must not be served from the index built over
+// the deleted graph, even though the re-registered entry restarts at
+// generation 1 and the (name, generation) corpus set is identical.
+func TestReuploadedNameInvalidatesIndex(t *testing.T) {
+	env := newTestEnv(t, server.Config{})
+	var res struct {
+		Matches []struct {
+			Name     string `json:"name"`
+			Distance int
+		} `json:"matches"`
+	}
+	// Warm the index over {fig1: gen 1, planted: gen 1}.
+	warm := map[string]any{"query": map[string]any{"name": "fig1"}, "tau": 0}
+	if code := env.do("POST", "/v1/search", warm, &res); code != 200 || len(res.Matches) != 1 {
+		t.Fatalf("warm search = %+v (status %d)", res.Matches, code)
+	}
+	// Replace fig1 with different content under the same name; the corpus
+	// returns to {fig1: gen 1, planted: gen 1}, so without epochs the stale
+	// fingerprint would collide and the cached index would keep serving the
+	// deleted graph's content.
+	if code := env.do("DELETE", "/v1/graphs/fig1", nil, nil); code != 200 {
+		t.Fatalf("delete status %d", code)
+	}
+	if code := env.do("POST", "/v1/graphs", map[string]any{"name": "fig1", "data": twoCompHG(t)}, nil); code != 201 {
+		t.Fatalf("re-upload status %d", code)
+	}
+	// An exact (τ=0) search for the NEW content must match it; the stale
+	// index would verify against the deleted graph and return no match.
+	fresh := map[string]any{"query": map[string]any{"data": twoCompHG(t)}, "tau": 0}
+	if code := env.do("POST", "/v1/search", fresh, &res); code != 200 {
+		t.Fatalf("search status %d", code)
+	}
+	if len(res.Matches) != 1 || res.Matches[0].Name != "fig1" || res.Matches[0].Distance != 0 {
+		t.Fatalf("search after re-upload = %+v, want fig1 at distance 0", res.Matches)
+	}
+}
+
+// TestGraphNameRejectsControlBytes keeps fingerprint separators unforgeable:
+// names carrying control bytes (including the \x00 / \x1e field and record
+// separators) are rejected at registration.
+func TestGraphNameRejectsControlBytes(t *testing.T) {
+	env := newTestEnv(t, server.Config{})
+	for _, name := range []string{"a\x00b", "a\x1eb", "a\tb", "a b", "\x7f"} {
+		code := env.do("POST", "/v1/graphs", map[string]any{"name": name, "data": twoCompHG(t)}, nil)
+		if code != 400 {
+			t.Fatalf("upload with name %q: status %d, want 400", name, code)
+		}
+	}
+}
+
 // TestSearchServesStaleDuringRebuild pins the acceptance criterion: while
 // one flight rebuilds the index after a mutation, an allowStale search is
 // answered from the previous generation's index without blocking, and the

@@ -3,9 +3,9 @@ package server
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
+	"unicode"
 
 	"hged"
 )
@@ -19,6 +19,11 @@ type GraphEntry struct {
 	Name     string
 	Source   string // file path, "upload", or "builtin"
 	LoadedAt time.Time
+
+	// epoch is assigned by Registry.Add and unique across the registry's
+	// lifetime, so a name re-registered after Remove never aliases the
+	// deleted entry in (name, generation)-keyed derived state.
+	epoch int64
 
 	vg *hged.VersionedGraph
 
@@ -46,6 +51,11 @@ func (e *GraphEntry) Pin() *hged.GraphGeneration { return e.vg.Pin() }
 // Generation returns the current generation's sequence number.
 func (e *GraphEntry) Generation() int64 { return e.vg.Current().Seq() }
 
+// Epoch returns the entry's registration epoch: unique per Add for the life
+// of the registry. Generation numbers restart at 1 for every registration,
+// so caches keyed on graph identity must key on (epoch, generation).
+func (e *GraphEntry) Epoch() int64 { return e.epoch }
+
 // Versions exposes the MVCC counters for /metrics.
 func (e *GraphEntry) Versions() *hged.VersionedGraph { return e.vg }
 
@@ -66,15 +76,17 @@ func (e *GraphEntry) Stats() hged.Stats {
 // generation and publishes the result. On success it rebases the entry's σ
 // predictors onto the new generation (dropping only entries the delta
 // invalidates), refreshes the memoized stats, and returns the new
-// generation number with the delta. On error the batch is discarded and the
-// published generation is unchanged.
-func (e *GraphEntry) Mutate(apply func(b *hged.GraphBatch) error) (int64, hged.GraphDelta, error) {
+// generation number with its stats and the delta — the returned stats
+// describe exactly the returned generation, which a later e.Stats() call
+// cannot guarantee under concurrent mutation. On error the batch is
+// discarded and the published generation is unchanged.
+func (e *GraphEntry) Mutate(apply func(b *hged.GraphBatch) error) (int64, hged.Stats, hged.GraphDelta, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	b := e.vg.Begin()
 	if err := apply(b); err != nil {
 		b.Abort()
-		return 0, hged.GraphDelta{}, err
+		return 0, hged.Stats{}, hged.GraphDelta{}, err
 	}
 	gen, delta := b.Commit()
 	e.stats = hged.Summarize(gen.Graph())
@@ -88,7 +100,7 @@ func (e *GraphEntry) Mutate(apply func(b *hged.GraphBatch) error) (int64, hged.G
 		}
 		se.gen = gen.Seq()
 	}
-	return gen.Seq(), delta, nil
+	return gen.Seq(), e.stats, delta, nil
 }
 
 // sigmaPredictor returns the entry's memoizing σ predictor for the given
@@ -147,6 +159,7 @@ type Registry struct {
 	mu      sync.RWMutex
 	graphs  map[string]*GraphEntry
 	version int64
+	epoch   int64 // registration counter feeding GraphEntry.epoch
 }
 
 // NewRegistry returns an empty registry.
@@ -154,7 +167,9 @@ func NewRegistry() *Registry {
 	return &Registry{graphs: make(map[string]*GraphEntry)}
 }
 
-// validName rejects names that would not round-trip through URL paths.
+// validName rejects names that would not round-trip through URL paths, and
+// any whitespace or control character — control bytes could otherwise forge
+// the field/record separators in corpus fingerprints.
 func validName(name string) error {
 	if name == "" {
 		return fmt.Errorf("graph name must not be empty")
@@ -162,8 +177,13 @@ func validName(name string) error {
 	if len(name) > 128 {
 		return fmt.Errorf("graph name longer than 128 bytes")
 	}
-	if strings.ContainsAny(name, "/ \t\n") {
-		return fmt.Errorf("graph name %q must not contain slashes or whitespace", name)
+	for _, r := range name {
+		switch {
+		case r == '/':
+			return fmt.Errorf("graph name %q must not contain slashes", name)
+		case r <= 0x20 || r == 0x7f || unicode.IsSpace(r) || unicode.IsControl(r):
+			return fmt.Errorf("graph name %q must not contain whitespace or control characters", name)
+		}
 	}
 	return nil
 }
@@ -192,6 +212,8 @@ func (r *Registry) Add(name string, g *hged.Hypergraph, source string) (*GraphEn
 	if _, dup := r.graphs[name]; dup {
 		return nil, fmt.Errorf("graph %q already loaded", name)
 	}
+	r.epoch++
+	e.epoch = r.epoch
 	r.graphs[name] = e
 	r.version++
 	return e, nil

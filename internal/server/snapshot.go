@@ -76,10 +76,11 @@ func (s *Server) LoadCorpusSnapshot(ctx context.Context, path string, want []str
 	}
 	// Every restored entry starts at generation 1; record the fingerprint
 	// so the first search adopts the snapshot index instead of rebuilding.
-	fp, _, gens, _ := corpusState(s.reg.List())
+	fp, _, epochs, gens, _ := corpusState(s.reg.List())
 	s.search.mu.Lock()
 	s.search.ix = ix
 	s.search.names = names
+	s.search.epochs = epochs
 	s.search.gens = gens
 	s.search.fp = fp
 	s.search.mu.Unlock()
