@@ -28,6 +28,7 @@ import (
 	"regexp"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"hged/internal/gen"
 	"hged/internal/hgio"
 	"hged/internal/hypergraph"
+	"hged/internal/lint"
 	"hged/internal/predict"
 	"hged/internal/search"
 )
@@ -684,7 +686,54 @@ func suite() []benchmark {
 			b.StopTimer()
 			b.ReportMetric(float64(hypergraph.FreezeBuilds()-before)/float64(b.N), "freezeBuilds/op")
 		}},
+		// The Lint pair tracks the hgedvet gate's analysis cost over the
+		// whole module (load/type-check time excluded — it is the go
+		// command's, not ours): summaries is the interprocedural
+		// call-graph + fact-propagation layer alone, check the full
+		// ten-analyzer pass on top of it. Keeping both fast is what makes
+		// the gate usable pre-commit.
+		{"Lint/summaries", func(b *testing.B) {
+			pkgs := lintBenchPkgs(b)
+			var funcs int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				funcs = lint.BuildProgram(pkgs).FuncCount()
+			}
+			b.StopTimer()
+			if funcs == 0 {
+				b.Fatal("empty call graph")
+			}
+			b.ReportMetric(float64(funcs), "funcs")
+		}},
+		{"Lint/check", func(b *testing.B) {
+			pkgs := lintBenchPkgs(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if diags := lint.Check(pkgs, lint.DefaultAnalyzers()); len(diags) != 0 {
+					b.Fatalf("tree not clean: %d findings", len(diags))
+				}
+			}
+		}},
 	}
+}
+
+// lintPkgs caches the type-checked module for the Lint benchmarks: loading
+// invokes the go command and is not what the gate's hot path measures.
+var lintPkgs struct {
+	once sync.Once
+	pkgs []*lint.Package
+	err  error
+}
+
+func lintBenchPkgs(b *testing.B) []*lint.Package {
+	b.Helper()
+	lintPkgs.once.Do(func() {
+		lintPkgs.pkgs, lintPkgs.err = lint.Load([]string{"hged/..."})
+	})
+	if lintPkgs.err != nil {
+		b.Fatal(lintPkgs.err)
+	}
+	return lintPkgs.pkgs
 }
 
 // snapshotBenchEnv writes the filter-batch corpus (256 small uniform

@@ -1,13 +1,18 @@
-// Command hgedvet runs the project's static-analysis pass: four analyzers
-// that make the determinism, pool-hygiene, and cancellation contracts of
-// the HGED service compile-time-checkable (see internal/lint and the
+// Command hgedvet runs the project's static-analysis pass: ten analyzers
+// over an interprocedural call-graph/fact-summary layer that make the
+// determinism, pool-hygiene, cancellation, and MVCC concurrency contracts
+// of the HGED service compile-time-checkable (see internal/lint and the
 // "Static analysis" section of DESIGN.md).
 //
 // Usage:
 //
-//	hgedvet [-json] [packages]
+//	hgedvet [-json] [-rules a,b,c] [packages]
 //
 // Packages default to ./... and accept the go command's pattern syntax.
+// -rules runs a named subset of the analyzers (unknown names are an
+// error), so CI can stage new rules and fixture self-checks can target
+// one rule; suppressions of skipped rules are not judged stale in a
+// subset run.
 // Exit status is 0 when the tree is clean, 1 when any analyzer reports a
 // finding, and 2 when packages fail to load or type-check.
 //
@@ -26,20 +31,38 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"hged/internal/lint"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: hgedvet [-json] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hgedvet [-json] [-rules a,b,c] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.DefaultAnalyzers() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *rules != "" {
+		var names []string
+		for _, name := range strings.Split(*rules, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		var err error
+		analyzers, err = lint.Select(names)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hgedvet:", err)
+			os.Exit(2)
+		}
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -51,7 +74,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hgedvet:", err)
 		os.Exit(2)
 	}
-	diags := lint.Check(pkgs, lint.DefaultAnalyzers())
+	diags := lint.Check(pkgs, analyzers)
 
 	// Report paths relative to the working directory, like go vet.
 	if wd, err := os.Getwd(); err == nil {

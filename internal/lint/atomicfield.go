@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Atomicfield enforces all-or-nothing atomicity: once any code in the
+// module touches a struct field or package-level variable through a
+// package-level sync/atomic function (atomic.AddInt64(&x.n, 1), ...),
+// every other access to it must be atomic too. A single plain read racing
+// an atomic write is still a data race — the Go memory model gives mixed
+// access no guarantees, and on 32-bit targets a plain 64-bit read can tear.
+//
+// The census is global (the whole Check run, all packages), so marking a
+// field atomic in one package catches a plain access in another; reports
+// land at the plain access. The typed atomics (atomic.Int64 & friends) are
+// immune by construction — the module prefers them for exactly that
+// reason — so this rule only polices the legacy pointer-based API.
+//
+// Accesses that are provably pre-publication (init before any goroutine
+// can see the value) suppress with //hgedvet:ignore atomicfield.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "flags plain accesses to fields that are accessed via sync/atomic elsewhere",
+	Run:  runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) {
+	if pass.Prog == nil || len(pass.Prog.atomicFields) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		// Collect the &-operands of atomic calls in this file: those are
+		// the sanctioned accesses and must not be reported.
+		sanctioned := make(map[ast.Expr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+					operand := ast.Unparen(u.X)
+					sanctioned[operand] = true
+					if sel, ok := operand.(*ast.SelectorExpr); ok {
+						sanctioned[sel.Sel] = true // qualified package vars resolve via the Sel ident
+					}
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok || sanctioned[expr] {
+				return true
+			}
+			switch expr.(type) {
+			case *ast.SelectorExpr, *ast.Ident:
+			default:
+				return true
+			}
+			key, ok := fieldKey(pass.Info, expr)
+			if !ok {
+				return true
+			}
+			at, marked := pass.Prog.atomicFields[key]
+			if !marked {
+				return true
+			}
+			pass.Reportf(expr.Pos(), "%s is accessed via sync/atomic (e.g. %s:%d) but read or written plainly here: mixed access is a data race; use the atomic API on every access or switch the field to a typed atomic", key, at.Filename, at.Line)
+			return true
+		})
+	}
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxdetach governs detached goroutines in the server layer. A goroutine
+// launched with a detached context — context.Background(), context.TODO(),
+// or context.WithoutCancel(...) in its arguments, or a callee whose
+// transitive summary constructs one — outlives the request that spawned
+// it, so Server.Close cannot cancel it; the only way drain can wait for it
+// is WaitGroup registration. The rule: every such launch must either
+// perform a WaitGroup Add before the go statement in the same function, or
+// have the goroutine body itself call Done on a WaitGroup (the
+// registered-by-callee pattern).
+//
+// The single-flight search-index rebuild is the motivating case: it must
+// survive the triggering request's cancellation (other requests wait on
+// the same flight), but an unregistered flight races server shutdown.
+//
+// Fire-and-forget launches whose lifetime is bounded some other way
+// suppress with //hgedvet:ignore ctxdetach.
+var Ctxdetach = &Analyzer{
+	Name:     "ctxdetach",
+	Doc:      "requires detached-context goroutines in server to register with drain/waitgroup machinery",
+	Packages: []string{"hged/internal/server"},
+	Run:      runCtxdetach,
+}
+
+func runCtxdetach(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !detachedLaunch(pass, g) {
+					return true
+				}
+				if wgAddBefore(pass, fd.Body, g) || bodySignalsDone(pass, g) {
+					return true
+				}
+				pass.Reportf(g.Pos(), "goroutine launched with a detached context but never registered with a WaitGroup: Server.Close cannot wait for it, so shutdown races its writes; wg.Add(1) before the launch and defer wg.Done() inside it (//hgedvet:ignore ctxdetach if its lifetime is bounded elsewhere)")
+				return true
+			})
+		}
+	}
+}
+
+// detachedLaunch reports whether the go statement hands the goroutine a
+// detached context: one constructed in the launch arguments, or by the
+// callee itself (per its summary), or anywhere in a launched literal body.
+func detachedLaunch(pass *Pass, g *ast.GoStmt) bool {
+	for _, arg := range g.Call.Args {
+		if exprConstructsDetached(pass, arg) {
+			return true
+		}
+	}
+	switch fn := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		detached := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callConstructsDetached(pass, call) {
+				detached = true
+			}
+			return !detached
+		})
+		return detached
+	default:
+		if pass.Prog != nil {
+			if id, ok := calleeID(pass.Info, g.Call); ok {
+				if f, ok := pass.Prog.Funcs[id]; ok && f.Facts&FactDetachedCtx != 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// exprConstructsDetached reports whether the expression contains a call
+// that constructs a detached context, directly or via a module callee's
+// summary.
+func exprConstructsDetached(pass *Pass, e ast.Expr) bool {
+	detached := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callConstructsDetached(pass, call) {
+			detached = true
+		}
+		return !detached
+	})
+	return detached
+}
+
+func callConstructsDetached(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := calleeID(pass.Info, call)
+	if !ok {
+		return false
+	}
+	if externalFacts[id]&FactDetachedCtx != 0 {
+		return true
+	}
+	if pass.Prog != nil {
+		if f, ok := pass.Prog.Funcs[id]; ok && f.Facts&FactDetachedCtx != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// wgAddBefore reports whether the enclosing function performs a
+// sync.WaitGroup Add before the go statement.
+func wgAddBefore(pass *Pass, body *ast.BlockStmt, g *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= g.Pos() {
+			return !found
+		}
+		if isWaitGroupCall(pass.Info, call, "Add") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// bodySignalsDone reports whether the launched goroutine itself calls
+// Done on a WaitGroup: a literal body containing wg.Done(), or a resolved
+// callee whose declaration (when source is available) does.
+func bodySignalsDone(pass *Pass, g *ast.GoStmt) bool {
+	if fn, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return blockCallsDone(pass.Info, fn.Body)
+	}
+	if pass.Prog == nil {
+		return false
+	}
+	id, ok := calleeID(pass.Info, g.Call)
+	if !ok {
+		return false
+	}
+	f, ok := pass.Prog.Funcs[id]
+	if !ok || f.Decl == nil || f.Decl.Body == nil {
+		return false
+	}
+	// The callee may live in another package of the run; use its own
+	// package's type info for the WaitGroup check.
+	return blockCallsDone(f.Pkg.Info, f.Decl.Body)
+}
+
+func blockCallsDone(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupCall(info, call, "Done") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupCall reports whether call is sync.WaitGroup method name.
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

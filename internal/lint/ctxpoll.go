@@ -19,6 +19,11 @@ import (
 // solve inside such a loop would be unkillable: HTTP clients disconnecting,
 // job cancellation, and server drain all rely on the poll reaching every
 // expansion site.
+//
+// Since the interprocedural layer, the poll may also live in a helper: a
+// call to any module function whose summary carries FactPollsCancel counts,
+// so hoisting the throttled check into a shared routine does not trip the
+// rule.
 var Ctxpoll = &Analyzer{
 	Name:     "ctxpoll",
 	Doc:      "flags expansion-counting solver loops that never poll Options.Context",
@@ -52,6 +57,13 @@ func runCtxpoll(pass *Pass) {
 				case *ast.CallExpr:
 					if sel, ok := st.Fun.(*ast.SelectorExpr); ok && pollNames[sel.Sel.Name] {
 						hasPoll = true
+					}
+					if !hasPoll && pass.Prog != nil {
+						if id, ok := calleeID(pass.Info, st); ok {
+							if fn, ok := pass.Prog.Funcs[id]; ok && fn.Facts&FactPollsCancel != 0 {
+								hasPoll = true
+							}
+						}
 					}
 				}
 				return true

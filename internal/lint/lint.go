@@ -23,6 +23,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Diagnostic is one finding, anchored to a source position.
@@ -38,15 +39,39 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Path, d.Line, d.Col, d.Rule, d.Message)
 }
 
-// Pass carries one type-checked package through an analyzer run.
+// Pass carries one type-checked package through an analyzer run. Prog is
+// the whole-run interprocedural view (call graph + fact summaries over
+// every package in the Check call); analyzers consult it for transitive
+// checks but report only at positions inside the current package.
 type Pass struct {
 	Fset  *token.FileSet
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	Prog  *Program
 
+	anlz   *Analyzer
 	rule   string
 	report func(Diagnostic)
+}
+
+// analyzedElsewhere reports whether the running analyzer will itself visit
+// the package with the given import path during this run — used to avoid
+// reporting a transitive finding at a call site when the callee's own
+// package produces the direct finding.
+func (p *Pass) analyzedElsewhere(importPath string) bool {
+	if p.Prog == nil || p.anlz == nil {
+		return false
+	}
+	if !p.anlz.appliesTo(importPath) {
+		return false
+	}
+	for _, pkg := range p.Prog.Pkgs {
+		if pkg.ImportPath == importPath {
+			return true
+		}
+	}
+	return false
 }
 
 // Reportf records a finding at pos under the running analyzer's rule name.
@@ -85,7 +110,37 @@ func (a *Analyzer) appliesTo(importPath string) bool {
 // DefaultAnalyzers returns the project rule set with its production package
 // scoping (see DESIGN.md "Static analysis" for the contract each enforces).
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{Detrange, Nondet, Poolpair, Ctxpoll, Hotmap, Mutpath}
+	return []*Analyzer{
+		Detrange, Nondet, Poolpair, Ctxpoll, Hotmap, Mutpath,
+		Pinpair, Lockhold, Atomicfield, Ctxdetach,
+	}
+}
+
+// Select resolves rule names to default analyzers, erroring on any name
+// that is not a known rule — the cmd/hgedvet -rules flag.
+func Select(names []string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range names {
+		a := ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", name, ruleNames())
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rules selected")
+	}
+	return out, nil
+}
+
+// ruleNames lists the default rule names for error messages.
+func ruleNames() string {
+	var names []string
+	for _, a := range DefaultAnalyzers() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }
 
 // ByName returns the default analyzer with the given rule name, or nil.
@@ -117,9 +172,10 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	prog := BuildProgram(pkgs)
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		out = append(out, checkPackage(pkg, analyzers, known)...)
+		out = append(out, checkPackage(prog, pkg, analyzers, known)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -137,17 +193,21 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
-func checkPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) []Diagnostic {
+func checkPackage(prog *Program, pkg *Package, analyzers []*Analyzer, known map[string]bool) []Diagnostic {
 	var raw []Diagnostic
+	ran := make(map[string]bool)
 	for _, a := range analyzers {
 		if !a.appliesTo(pkg.ImportPath) {
 			continue
 		}
+		ran[a.Name] = true
 		pass := &Pass{
 			Fset:  pkg.Fset,
 			Files: pkg.Files,
 			Pkg:   pkg.Types,
 			Info:  pkg.Info,
+			Prog:  prog,
+			anlz:  a,
 			rule:  a.Name,
 			report: func(d Diagnostic) {
 				raw = append(raw, d)
@@ -165,6 +225,6 @@ func checkPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) []
 		}
 		out = append(out, d)
 	}
-	out = append(out, sup.problems(known)...)
+	out = append(out, sup.problems(known, ran)...)
 	return out
 }

@@ -145,6 +145,59 @@ func LoadDir(dir, importPath string) (*Package, error) {
 	return typecheck(fset, imp, importPath, dir, files)
 }
 
+// LoadDirs parses and type-checks several fixture packages that may import
+// each other, in the order given (dependencies first). Imports among the
+// listed packages resolve to the already type-checked source packages;
+// everything else falls back to export data, as in LoadDir. This is what
+// lets the cross-package propagation fixtures exist: fixture packages live
+// under testdata/ and have no export data for the gc importer to find.
+func LoadDirs(dirs []struct{ Dir, ImportPath string }) ([]*Package, error) {
+	fset := token.NewFileSet()
+	chain := &chainImporter{
+		loaded:   make(map[string]*types.Package),
+		fallback: importer.ForCompiler(fset, "gc", newExportLookup().lookup),
+	}
+	var pkgs []*Package
+	for _, d := range dirs {
+		entries, err := os.ReadDir(d.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		var files []string
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			files = append(files, filepath.Join(d.Dir, name))
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("lint: no Go files in %s", d.Dir)
+		}
+		pkg, err := typecheck(fset, chain, d.ImportPath, d.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		chain.loaded[d.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// chainImporter resolves imports against source-typechecked packages first,
+// then the gc export-data importer.
+type chainImporter struct {
+	loaded   map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.loaded[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
 func typecheck(fset *token.FileSet, imp types.Importer, importPath, dir string, filenames []string) (*Package, error) {
 	var files []*ast.File
 	for _, name := range filenames {

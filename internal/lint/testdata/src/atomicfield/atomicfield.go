@@ -1,0 +1,52 @@
+// Fixture for the atomicfield analyzer: a field or package variable
+// touched via sync/atomic anywhere must be accessed atomically everywhere.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+	plain int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want atomicfield "accessed via sync/atomic"
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want atomicfield "accessed via sync/atomic"
+	atomic.StoreInt64(&c.total, 0)
+}
+
+func (c *counter) totalOK() int64 {
+	return atomic.LoadInt64(&c.total)
+}
+
+func (c *counter) plainOnlyOK() int64 {
+	c.plain++ // never touched atomically: fine
+	return c.plain
+}
+
+var gauge int64
+
+func incrGauge() {
+	atomic.AddInt64(&gauge, 1)
+}
+
+func readGauge() int64 {
+	//hgedvet:ignore atomicfield read happens during init, before any goroutine can observe the value
+	return gauge
+}
+
+// typed atomics are immune by construction — no way to access them plainly.
+var typedGauge atomic.Int64
+
+func typedOK() int64 {
+	typedGauge.Add(1)
+	return typedGauge.Load()
+}

@@ -1,0 +1,52 @@
+// Fixture for the ctxdetach analyzer: goroutines launched with a detached
+// context must register with WaitGroup drain machinery.
+package ctxdetach
+
+import (
+	"context"
+	"sync"
+)
+
+type srv struct {
+	wg sync.WaitGroup
+}
+
+func (s *srv) rebuild(ctx context.Context) { _ = ctx }
+func (s *srv) work(ctx context.Context)    { _ = ctx }
+
+// spawnBase constructs a detached context internally; launching it is as
+// detached as passing Background at the call site.
+func (s *srv) spawnBase() { s.rebuild(context.Background()) }
+
+func (s *srv) unregisteredFlight() {
+	go s.rebuild(context.Background()) // want ctxdetach "detached context but never registered"
+}
+
+func (s *srv) unregisteredWithoutCancel(ctx context.Context) {
+	go s.rebuild(context.WithoutCancel(ctx)) // want ctxdetach "detached context but never registered"
+}
+
+func (s *srv) transitivelyDetached() {
+	go s.spawnBase() // want ctxdetach "detached context but never registered"
+}
+
+func (s *srv) registeredByAdd() {
+	s.wg.Add(1)
+	go s.rebuild(context.Background())
+}
+
+func (s *srv) registeredByDoneInBody() {
+	go func() {
+		defer s.wg.Done()
+		s.work(context.WithoutCancel(context.TODO()))
+	}()
+}
+
+func (s *srv) attached(ctx context.Context) {
+	go s.work(ctx) // request-scoped context: cancellable, fine
+}
+
+func (s *srv) suppressedFlight() {
+	//hgedvet:ignore ctxdetach fire-and-forget telemetry flush; bounded by the process exit path
+	go s.rebuild(context.Background())
+}

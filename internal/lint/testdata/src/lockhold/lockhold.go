@@ -1,0 +1,68 @@
+// Fixture for the lockhold analyzer: no may-block operation while holding
+// a mutex that hangs off a struct defined in the analyzed package.
+package lockhold
+
+import "sync"
+
+type entry struct {
+	mu sync.Mutex
+	ch chan int
+	v  int
+}
+
+func recvUnderLock(e *entry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.v = <-e.ch // want lockhold "channel receive while e.mu is held"
+}
+
+func waitValue(ch chan int) int { return <-ch }
+
+func blockingCallUnderLock(e *entry) {
+	e.mu.Lock()
+	e.v = waitValue(e.ch) // want lockhold "may block while e.mu is held"
+	e.mu.Unlock()
+}
+
+func selectUnderLock(e *entry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select { // want lockhold "select while e.mu is held"
+	case v := <-e.ch:
+		e.v = v
+	}
+}
+
+func blockAfterUnlock(e *entry) {
+	e.mu.Lock()
+	e.v++
+	e.mu.Unlock()
+	e.v = <-e.ch // lock released: fine
+}
+
+func nonBlockingSelectUnderLock(e *entry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case v := <-e.ch:
+		e.v = v
+	default:
+	}
+}
+
+func closureIsItsOwnUnit(e *entry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.v = 1
+	_ = func() {
+		// Not under the lock at run time; analyzed as its own unit.
+		<-e.ch
+	}
+}
+
+func suppressedSend(e *entry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//hgedvet:ignore lockhold bounded handoff: the channel is buffered and its consumer never blocks
+	e.ch <- e.v
+}

@@ -1,0 +1,13 @@
+// Helper package for the cross-package nondet fixture: the wall-clock read
+// sits two calls deep, invisible to any per-file scan of the caller.
+package inner
+
+import "time"
+
+// TwoDeep is what the outer package calls; itself clean syntactically.
+func TwoDeep() int64 { return oneDeep() }
+
+func oneDeep() int64 { return time.Now().UnixNano() }
+
+// Pure is a control: no wall-clock anywhere beneath it.
+func Pure() int64 { return 42 }

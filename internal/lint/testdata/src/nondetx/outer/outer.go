@@ -1,0 +1,17 @@
+// Cross-package nondet fixture: this package is in scope, the inner
+// package is not, and the wall-clock read is two calls away. The per-file
+// nondet provably misses it (see TestNondetDifferential); the
+// interprocedural pass flags the call site below.
+package outer
+
+import "nondetx/inner"
+
+// Stamp looks pure per-file; inner.TwoDeep reaches time.Now.
+func Stamp() int64 {
+	return inner.TwoDeep()
+}
+
+// Control stays clean: inner.Pure has no wall-clock facts.
+func Control() int64 {
+	return inner.Pure()
+}

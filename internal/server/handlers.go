@@ -533,9 +533,10 @@ type searchIndex struct {
 	ix     *hged.SearchIndex
 
 	building  bool
-	buildDone chan struct{} // closed when the current flight finishes
-	buildErr  error         // outcome of the last finished flight
-	buildHook func()        // test seam: runs inside the flight, before install
+	buildDone chan struct{}  // closed when the current flight finishes
+	buildErr  error          // outcome of the last finished flight
+	buildHook func()         // test seam: runs inside the flight, before install
+	flights   sync.WaitGroup // in-flight rebuilds; Server.Close drains it
 }
 
 // corpusState snapshots the registry into the inputs of an index build: a
@@ -605,6 +606,10 @@ func (s *Server) corpusIndex(ctx context.Context, allowStale bool) (*hged.Search
 				prevEpochs: s.search.epochs, prevGens: s.search.gens,
 				hook: s.search.buildHook, done: s.search.buildDone,
 			}
+			// The flight runs on a detached context (a cancelled client must
+			// not waste the build other searchers wait on), so Server.Close
+			// can only wait for it through the flights WaitGroup (ctxdetach).
+			s.search.flights.Add(1)
 			go s.rebuildIndex(context.WithoutCancel(ctx), spec)
 		}
 		done := s.search.buildDone
@@ -635,6 +640,7 @@ func (s *Server) corpusIndex(ctx context.Context, allowStale bool) (*hged.Search
 // runs with a detached context; only a failed pivot precompute leaves the
 // previous index in place.
 func (s *Server) rebuildIndex(ctx context.Context, spec buildSpec) {
+	defer s.search.flights.Done()
 	var (
 		ix     *hged.SearchIndex
 		reused int

@@ -80,14 +80,21 @@ func (e *GraphEntry) Stats() hged.Stats {
 // describe exactly the returned generation, which a later e.Stats() call
 // cannot guarantee under concurrent mutation. On error the batch is
 // discarded and the published generation is unchanged.
+//
+// Lock order: Begin waits on the MVCC writer lock and can stall behind a
+// prior batch, so it must happen before e.mu is taken — holding e.mu
+// through that wait would stall every reader of the entry's derived state
+// (lockhold). Taking e.mu just before Commit keeps publish and rebase
+// atomic with respect to readers, and the order writeMu→e.mu is
+// cycle-free: no e.mu holder ever begins a batch.
 func (e *GraphEntry) Mutate(apply func(b *hged.GraphBatch) error) (int64, hged.Stats, hged.GraphDelta, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	b := e.vg.Begin()
 	if err := apply(b); err != nil {
 		b.Abort()
 		return 0, hged.Stats{}, hged.GraphDelta{}, err
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	gen, delta := b.Commit()
 	e.stats = hged.Summarize(gen.Graph())
 	e.statsGen = gen.Seq()

@@ -18,6 +18,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
@@ -158,9 +159,27 @@ func (s *Server) Handler() http.Handler { return s.handler }
 
 // Close gracefully shuts the server's job pool down: it stops accepting
 // jobs, drains queued and running jobs until ctx expires, then cancels the
-// stragglers. The HTTP listener itself is the caller's to shut down
-// (http.Server.Shutdown), typically before calling Close.
-func (s *Server) Close(ctx context.Context) error { return s.jobs.Close(ctx) }
+// stragglers. It also waits (until ctx expires) for any in-flight search
+// index rebuild — those run on detached contexts so a cancelled client
+// cannot waste the build, which makes this WaitGroup the only handle
+// shutdown has on them. The HTTP listener itself is the caller's to shut
+// down (http.Server.Shutdown), typically before calling Close.
+func (s *Server) Close(ctx context.Context) error {
+	err := s.jobs.Close(ctx)
+	flightsDone := make(chan struct{})
+	go func() {
+		s.search.flights.Wait()
+		close(flightsDone)
+	}()
+	select {
+	case <-flightsDone:
+	case <-ctx.Done():
+		if err == nil {
+			err = fmt.Errorf("search index rebuild still running: %w", ctx.Err())
+		}
+	}
+	return err
+}
 
 // routes builds the ServeMux. Go 1.22 method+wildcard patterns route; each
 // route is wrapped with logging + metrics, and sync routes additionally
